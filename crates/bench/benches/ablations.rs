@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. recursive re-insertion in Algorithm 1 (on/off);
+//! 2. benefit-*rate* vs raw-benefit greedy ranking;
+//! 3. dynamic query-aware parent selection vs fixed link-quality tree;
+//! 4. α-gated lazy termination vs always-rebuild (α = 0);
+//! 5. adaptive statistics (§3.1.2's maintained data distributions) vs the
+//!    uniform assumption, on a spatially correlated (non-uniform) field.
+
+use ttmqo_bench::{optimizer_sweep_with, print_table};
+use ttmqo_core::{
+    run_experiment, ExperimentConfig, FieldKind, OptimizerOptions, Strategy, TtmqoConfig,
+};
+use ttmqo_sim::SimTime;
+use ttmqo_workloads::{random_workload, workload_c, RandomWorkloadParams};
+
+fn main() {
+    let events = random_workload(&RandomWorkloadParams {
+        n_queries: 500,
+        target_concurrency: 16.0,
+        seed: 42,
+        ..RandomWorkloadParams::default()
+    });
+
+    // 1 + 2 + 4: optimizer-level ablations on the random workload.
+    let variants: [(&str, OptimizerOptions); 5] = [
+        ("paper (reinsert, rate, α=0.6)", OptimizerOptions::default()),
+        (
+            "no recursive re-insertion",
+            OptimizerOptions {
+                reinsert: false,
+                ..OptimizerOptions::default()
+            },
+        ),
+        (
+            "rank by raw benefit",
+            OptimizerOptions {
+                rank_by_rate: false,
+                ..OptimizerOptions::default()
+            },
+        ),
+        (
+            "always rebuild (α=0)",
+            OptimizerOptions {
+                alpha: 0.0,
+                ..OptimizerOptions::default()
+            },
+        ),
+        (
+            "never rebuild (α=∞)",
+            OptimizerOptions {
+                alpha: 1e12,
+                ..OptimizerOptions::default()
+            },
+        ),
+    ];
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .map(|(label, options)| {
+            let sweep = optimizer_sweep_with(&events, *options, 4);
+            vec![
+                label.to_string(),
+                format!("{:.1}%", 100.0 * sweep.benefit_ratio),
+                format!("{:.2}", sweep.avg_synthetic_count),
+                format!("{}", sweep.injections + sweep.abortions),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — tier-1 optimizer variants (random workload, 16 concurrent)",
+        &["variant", "benefit ratio", "avg synthetics", "network ops"],
+        &rows,
+    );
+
+    // 3: dynamic parent selection vs fixed tree, in-network tier only.
+    let mut rows = Vec::new();
+    for (label, dynamic) in [
+        ("dynamic DAG parents (paper)", true),
+        ("fixed link-quality tree", false),
+    ] {
+        let config = ExperimentConfig {
+            strategy: Strategy::InNetOnly,
+            grid_n: 8,
+            duration: SimTime::from_ms(96 * 2048),
+            innetwork: TtmqoConfig {
+                dynamic_parents: dynamic,
+                ..TtmqoConfig::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&config, &workload_c());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", report.avg_transmission_time_pct()),
+            format!("{}", report.metrics.tx_count(ttmqo_sim::MsgKind::Result)),
+        ]);
+    }
+    print_table(
+        "Ablation — in-network parent selection (workload C, 64 nodes)",
+        &["variant", "avg tx time %", "result msgs"],
+        &rows,
+    );
+
+    // 5: adaptive statistics vs the uniform assumption on a correlated
+    // field. Arrivals are staggered (8 epochs apart) so that by the time the
+    // later queries are optimized the base station has observed enough rows
+    // to have learned the real distribution.
+    let staggered: Vec<ttmqo_core::WorkloadEvent> = workload_c()
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut e)| {
+            e.at = SimTime::from_ms(i as u64 * 8 * 2048);
+            e
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (label, adaptive) in [
+        ("uniform assumption (paper's default)", false),
+        ("adaptive statistics (§3.1.2)", true),
+    ] {
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(160 * 2048),
+            field: FieldKind::Correlated,
+            adaptive_statistics: adaptive,
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&config, &staggered);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", report.avg_transmission_time_pct()),
+            format!("{:.2}", report.avg_synthetic_count),
+            format!("{:.1}%", 100.0 * report.avg_benefit_ratio),
+        ]);
+    }
+    print_table(
+        "Ablation — selectivity statistics (workload C, correlated field, 16 nodes)",
+        &[
+            "variant",
+            "avg tx time %",
+            "avg synthetics",
+            "benefit ratio",
+        ],
+        &rows,
+    );
+}

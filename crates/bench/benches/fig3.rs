@@ -1,0 +1,37 @@
+//! Regenerates Figure 3: average transmission time for workloads A/B/C on
+//! 16- and 64-node grids under all four strategies.
+//!
+//! Paper reference shapes: on A both single tiers save heavily (≈61% at 16
+//! nodes, ≈75% at 64); on B the in-network tier clearly beats the
+//! base-station tier and its edge grows with network size; on C the tiers
+//! are mutually complementary (two-tier best, up to ≈82%), with the
+//! base-station tier ahead at 16 nodes and the in-network tier ahead at 64.
+
+use ttmqo_bench::{fig3_matrix, print_table, FIG3_DURATION_EPOCHS};
+
+fn main() {
+    let cells = fig3_matrix(FIG3_DURATION_EPOCHS);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("WORKLOAD_{}", c.workload),
+                c.nodes.to_string(),
+                c.strategy.to_string(),
+                format!("{:.4}", c.avg_tx_pct),
+                format!("{:+.1}%", c.savings_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3 — average transmission time (% of node time spent transmitting)",
+        &[
+            "workload",
+            "nodes",
+            "strategy",
+            "avg tx time %",
+            "savings vs baseline",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot paths: query parsing, the merge
+//! algebra, optimizer insertion, and raw simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ttmqo_core::{run_experiment, BaseStationOptimizer, CostModel, ExperimentConfig, Strategy};
+use ttmqo_query::{integrate, parse_query, QueryId};
+use ttmqo_sim::SimTime;
+use ttmqo_stats::{LevelStats, SelectivityEstimator};
+use ttmqo_workloads::{random_workload, workload_a, RandomWorkloadParams, ATTR_MENU};
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse_query", |b| {
+        b.iter(|| {
+            parse_query(
+                QueryId(1),
+                std::hint::black_box(
+                    "select nodeid, light, temp where 100 < light < 900 and temp >= 0 \
+                     epoch duration 4096",
+                ),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_integrate(c: &mut Criterion) {
+    let a = parse_query(
+        QueryId(1),
+        "select light where 280<light<600 epoch duration 2048",
+    )
+    .unwrap();
+    let b2 = parse_query(
+        QueryId(2),
+        "select light, temp where 100<light<300 epoch duration 4096",
+    )
+    .unwrap();
+    c.bench_function("integrate_pair", |b| {
+        b.iter(|| {
+            integrate(
+                QueryId(100),
+                std::hint::black_box(&a),
+                std::hint::black_box(&b2),
+            )
+        })
+    });
+}
+
+fn fresh_optimizer() -> BaseStationOptimizer {
+    let model = CostModel::new(
+        4.0,
+        0.2,
+        LevelStats::from_counts([7, 20, 36]),
+        SelectivityEstimator::uniform(),
+    );
+    BaseStationOptimizer::new(model, 0.6)
+}
+
+fn bench_optimizer_insert(c: &mut Criterion) {
+    let events = random_workload(&RandomWorkloadParams {
+        n_queries: 100,
+        target_concurrency: 24.0,
+        seed: 5,
+        ..RandomWorkloadParams::default()
+    });
+    let queries: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.action {
+            ttmqo_core::WorkloadAction::Pose(q) => Some(q.clone()),
+            _ => None,
+        })
+        .collect();
+    c.bench_function("optimizer_insert_100_random", |b| {
+        b.iter_batched(
+            fresh_optimizer,
+            |mut opt| {
+                for q in &queries {
+                    let _ = opt.insert(q.clone());
+                }
+                opt.synthetic_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Menu access keeps the import meaningful even if unused elsewhere.
+    std::hint::black_box(ATTR_MENU);
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("simulate_workload_a_16_nodes_24_epochs", |b| {
+        b.iter(|| {
+            let config = ExperimentConfig {
+                strategy: Strategy::TwoTier,
+                grid_n: 4,
+                duration: SimTime::from_ms(24 * 2048),
+                ..ExperimentConfig::default()
+            };
+            run_experiment(&config, &workload_a())
+                .metrics
+                .tx_count_total()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_integrate,
+    bench_optimizer_insert,
+    bench_simulation
+);
+criterion_main!(benches);

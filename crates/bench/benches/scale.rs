@@ -1,0 +1,140 @@
+//! Supplementary scalability experiments (beyond the paper's figures):
+//!
+//! * S1 — end-to-end average transmission time vs. number of concurrent
+//!   queries (the paper's §4.3 scalability claim, measured in the network
+//!   rather than at the optimizer);
+//! * S2 — grid vs. random uniform deployments: the scheme does not depend on
+//!   the regular grid the paper evaluates on;
+//! * S3 — robustness to distance-dependent loss.
+
+use ttmqo_bench::print_table;
+use ttmqo_core::{run_experiment, ExperimentConfig, Strategy, WorkloadEvent};
+use ttmqo_sim::{RadioParams, SimTime, Topology};
+use ttmqo_workloads::{selectivity_workload, SelectivityWorkloadParams};
+
+fn workload(n_queries: usize) -> Vec<WorkloadEvent> {
+    selectivity_workload(&SelectivityWorkloadParams {
+        n_queries,
+        selectivity: 0.7,
+        aggregation_fraction: 0.25,
+        seed: 99,
+        ..SelectivityWorkloadParams::default()
+    })
+}
+
+fn main() {
+    // S1: query-count scaling, 16 nodes.
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32] {
+        let mut tx = [0.0f64; 2];
+        for (i, strategy) in [Strategy::Baseline, Strategy::TwoTier]
+            .into_iter()
+            .enumerate()
+        {
+            let config = ExperimentConfig {
+                strategy,
+                grid_n: 4,
+                duration: SimTime::from_ms(64 * 2048),
+                ..ExperimentConfig::default()
+            };
+            tx[i] = run_experiment(&config, &workload(n)).avg_transmission_time_pct();
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.4}", tx[0]),
+            format!("{:.4}", tx[1]),
+            format!("{:.1}%", 100.0 * (1.0 - tx[1] / tx[0])),
+        ]);
+    }
+    print_table(
+        "S1 — end-to-end scalability with the number of concurrent queries (16 nodes)",
+        &["queries", "baseline tx %", "TTMQO tx %", "savings"],
+        &rows,
+    );
+
+    // S2: grid vs random uniform deployment, 8 queries.
+    let mut rows = Vec::new();
+    for (label, topo) in [
+        ("4x4 grid (paper)", Topology::grid(4).expect("grid")),
+        (
+            "16 random / 70ft²",
+            Topology::random_uniform(16, 70.0, 50.0, 11).expect("random"),
+        ),
+        (
+            "64 random / 150ft²",
+            Topology::random_uniform(64, 150.0, 50.0, 12).expect("random"),
+        ),
+    ] {
+        let mut tx = [0.0f64; 2];
+        for (i, strategy) in [Strategy::Baseline, Strategy::TwoTier]
+            .into_iter()
+            .enumerate()
+        {
+            let config = ExperimentConfig {
+                strategy,
+                topology_override: Some(topo.clone()),
+                duration: SimTime::from_ms(64 * 2048),
+                ..ExperimentConfig::default()
+            };
+            tx[i] = run_experiment(&config, &workload(8)).avg_transmission_time_pct();
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", topo.max_level()),
+            format!("{:.4}", tx[0]),
+            format!("{:.4}", tx[1]),
+            format!("{:.1}%", 100.0 * (1.0 - tx[1] / tx[0])),
+        ]);
+    }
+    print_table(
+        "S2 — deployment shape (8 queries)",
+        &[
+            "deployment",
+            "max level",
+            "baseline tx %",
+            "TTMQO tx %",
+            "savings",
+        ],
+        &rows,
+    );
+
+    // S3: distance-dependent loss.
+    let mut rows = Vec::new();
+    for (label, radio) in [
+        ("lossless", RadioParams::lossless()),
+        ("collisions (default)", RadioParams::default()),
+        (
+            "collisions + distance loss",
+            RadioParams {
+                distance_loss: true,
+                ..RadioParams::default()
+            },
+        ),
+    ] {
+        let mut tx = [0.0f64; 2];
+        for (i, strategy) in [Strategy::Baseline, Strategy::TwoTier]
+            .into_iter()
+            .enumerate()
+        {
+            let config = ExperimentConfig {
+                strategy,
+                grid_n: 4,
+                radio: radio.clone(),
+                duration: SimTime::from_ms(64 * 2048),
+                ..ExperimentConfig::default()
+            };
+            tx[i] = run_experiment(&config, &workload(8)).avg_transmission_time_pct();
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", tx[0]),
+            format!("{:.4}", tx[1]),
+            format!("{:.1}%", 100.0 * (1.0 - tx[1] / tx[0])),
+        ]);
+    }
+    print_table(
+        "S3 — radio reliability models (8 queries, 16 nodes)",
+        &["radio model", "baseline tx %", "TTMQO tx %", "savings"],
+        &rows,
+    );
+}

@@ -1,0 +1,100 @@
+//! Harness for Figure 5: transmission-time savings vs. predicate
+//! selectivity, for different acquisition/aggregation mixes.
+
+use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
+use ttmqo_sim::SimTime;
+use ttmqo_workloads::{selectivity_workload, SelectivityWorkloadParams};
+
+/// One data point of Figure 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Fraction of aggregation queries in the 8-query mix.
+    pub aggregation_fraction: f64,
+    /// Predicate selectivity.
+    pub selectivity: f64,
+    /// Baseline average transmission time, percent.
+    pub baseline_tx_pct: f64,
+    /// Two-tier TTMQO average transmission time, percent.
+    pub ttmqo_tx_pct: f64,
+}
+
+impl Fig5Point {
+    /// Percentage of transmission time saved by TTMQO over the baseline.
+    pub fn savings_pct(&self) -> f64 {
+        if self.baseline_tx_pct <= 0.0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.ttmqo_tx_pct / self.baseline_tx_pct)
+        }
+    }
+}
+
+/// Measures one Figure 5 point: 8 concurrent queries of the given mix and
+/// selectivity on the 4×4 grid, baseline vs. the full TTMQO scheme.
+pub fn fig5_savings(
+    aggregation_fraction: f64,
+    selectivity: f64,
+    duration_epochs: u64,
+    seed: u64,
+) -> Fig5Point {
+    let workload = selectivity_workload(&SelectivityWorkloadParams {
+        aggregation_fraction,
+        selectivity,
+        seed,
+        ..SelectivityWorkloadParams::default()
+    });
+    let mut tx = [0.0f64; 2];
+    for (i, strategy) in [Strategy::Baseline, Strategy::TwoTier]
+        .into_iter()
+        .enumerate()
+    {
+        let config = ExperimentConfig {
+            strategy,
+            grid_n: 4,
+            duration: SimTime::from_ms(duration_epochs * 2048),
+            ..ExperimentConfig::default()
+        };
+        tx[i] = run_experiment(&config, &workload).avg_transmission_time_pct();
+    }
+    Fig5Point {
+        aggregation_fraction,
+        selectivity,
+        baseline_tx_pct: tx[0],
+        ttmqo_tx_pct: tx[1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_selectivity_for_acquisition() {
+        // The Figure 5 shape: higher selectivity ⇒ more similar queries ⇒
+        // larger savings. At selectivity 1.0 with 8 identical acquisition
+        // queries the paper reports ≈89.7% (theoretical 7/8 = 87.5%).
+        let low = fig5_savings(0.0, 0.3, 48, 1);
+        let high = fig5_savings(0.0, 1.0, 48, 1);
+        assert!(
+            high.savings_pct() > low.savings_pct(),
+            "savings must grow: {:.1}% -> {:.1}%",
+            low.savings_pct(),
+            high.savings_pct()
+        );
+        assert!(
+            high.savings_pct() > 75.0,
+            "identical acquisition queries should save ≳ 7/8: {:.1}%",
+            high.savings_pct()
+        );
+    }
+
+    #[test]
+    fn full_aggregation_mix_saves_at_full_selectivity() {
+        let p = fig5_savings(1.0, 1.0, 48, 2);
+        assert!(
+            p.savings_pct() > 50.0,
+            "8 identical MAX queries must share heavily: {:.1}%",
+            p.savings_pct()
+        );
+    }
+}

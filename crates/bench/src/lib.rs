@@ -1,0 +1,22 @@
+//! Figure-regeneration harness for the TTMQO reproduction.
+//!
+//! Each function here computes the data behind one of the paper's figures;
+//! the `benches/` binaries print them as tables (`cargo bench -p ttmqo-bench`
+//! regenerates every figure). Keeping the logic in the library lets the test
+//! suite assert the figures' *shapes* cheaply.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod table;
+
+pub use fig2::{fig2_counts, Fig2Counts};
+pub use fig34::{
+    fig3_matrix, optimizer_sweep, optimizer_sweep_with, Fig3Cell, OptimizerSweep,
+    FIG3_DURATION_EPOCHS,
+};
+pub use fig5::{fig5_savings, Fig5Point};
+pub use table::print_table;

@@ -1,0 +1,53 @@
+//! Minimal fixed-width table printing for the figure harnesses.
+
+/// Prints a titled, fixed-width table to stdout.
+///
+/// # Examples
+///
+/// ```
+/// ttmqo_bench::print_table(
+///     "demo",
+///     &["x", "y"],
+///     &[vec!["1".into(), "2".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    println!("\n=== {title} ===");
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::print_table;
+
+    #[test]
+    fn prints_without_panicking() {
+        print_table(
+            "t",
+            &["a", "bbbb"],
+            &[vec!["123456".into(), "1".into()], vec!["1".into()]],
+        );
+    }
+}

@@ -1,0 +1,715 @@
+//! The base-station optimizer: Algorithm 1 (greedy query insertion with
+//! recursive re-insertion) and Algorithm 2 (adaptive, α-gated termination).
+//!
+//! The optimizer maintains the set of running synthetic queries. User queries
+//! arrive via [`BaseStationOptimizer::insert`] and leave via
+//! [`BaseStationOptimizer::terminate`]; both return the [`NetworkOp`]s (query
+//! injections and abortions) the sensor network must execute to realize the
+//! new synthetic set. When there is sufficient similarity between queries,
+//! insertion and termination are frequently absorbed entirely at the base
+//! station and return no operations at all — the "screen" role of §3.
+
+use crate::basestation::cost::CostModel;
+use crate::basestation::synthetic::{Demand, SyntheticQuery};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use ttmqo_query::{integrate, Query, QueryId};
+
+/// First id handed to synthetic queries; user query ids must stay below it.
+pub const SYNTHETIC_ID_BASE: u64 = 1 << 20;
+
+/// An operation the sensor network must execute after a rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkOp {
+    /// Inject (flood) a new synthetic query.
+    Inject(Query),
+    /// Abort (flood removal of) a synthetic query.
+    Abort(QueryId),
+}
+
+/// Error inserting an invalid user query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertError {
+    /// The id is already in use by a live user query.
+    DuplicateId(QueryId),
+    /// The id falls in the synthetic id space (≥ [`SYNTHETIC_ID_BASE`]).
+    ReservedId(QueryId),
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::DuplicateId(q) => write!(f, "query id {q} is already running"),
+            InsertError::ReservedId(q) => {
+                write!(f, "query id {q} collides with the synthetic id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Cumulative optimizer statistics (for the Figure 4 experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OptimizerStats {
+    /// Queries inserted so far.
+    pub inserted: u64,
+    /// Queries terminated so far.
+    pub terminated: u64,
+    /// Synthetic queries injected into the network so far.
+    pub injections: u64,
+    /// Synthetic queries aborted so far.
+    pub abortions: u64,
+    /// Insertions fully absorbed at the base station (no network ops).
+    pub absorbed_insertions: u64,
+    /// Terminations fully absorbed at the base station.
+    pub absorbed_terminations: u64,
+}
+
+/// Tunable behaviour of the optimizer (the defaults are the paper's
+/// algorithm; the other settings exist for the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerOptions {
+    /// Algorithm 2's termination parameter α.
+    pub alpha: f64,
+    /// Whether a merged synthetic query is recursively re-inserted
+    /// (Algorithm 1's `Insert(q_id, Q_syn)` tail call). Disabling stops after
+    /// the first merge.
+    pub reinsert: bool,
+    /// Whether candidates are ranked by benefit *rate* (`benefit/cost(q_i)`,
+    /// the paper's `Beneficial`) or by raw benefit.
+    pub rank_by_rate: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            alpha: 0.6,
+            reinsert: true,
+            rank_by_rate: true,
+        }
+    }
+}
+
+/// The first-tier optimizer (§3.1).
+///
+/// # Examples
+///
+/// ```
+/// use ttmqo_core::{BaseStationOptimizer, CostModel, NetworkOp};
+/// use ttmqo_stats::{LevelStats, SelectivityEstimator};
+/// use ttmqo_query::{parse_query, QueryId};
+///
+/// let model = CostModel::new(4.0, 0.2, LevelStats::from_counts([7, 8]),
+///                            SelectivityEstimator::uniform());
+/// let mut opt = BaseStationOptimizer::new(model, 0.6);
+///
+/// let q1 = parse_query(QueryId(1), "select light where 100<light<300 epoch duration 4096")?;
+/// let q2 = parse_query(QueryId(2), "select light where 150<light<500 epoch duration 4096")?;
+/// let ops1 = opt.insert(q1).unwrap();
+/// assert!(matches!(ops1[..], [NetworkOp::Inject(_)]));
+/// // q2 overlaps heavily: it is rewritten together with q1 into one
+/// // synthetic query (one abort + one inject).
+/// let ops2 = opt.insert(q2).unwrap();
+/// assert_eq!(opt.synthetic_count(), 1);
+/// assert_eq!(ops2.len(), 2);
+/// # Ok::<(), ttmqo_query::ParseQueryError>(())
+/// ```
+#[derive(Debug)]
+pub struct BaseStationOptimizer {
+    cost: CostModel,
+    options: OptimizerOptions,
+    synthetics: BTreeMap<QueryId, SyntheticQuery>,
+    user_to_syn: BTreeMap<QueryId, QueryId>,
+    user_queries: BTreeMap<QueryId, Query>,
+    injected: BTreeSet<QueryId>,
+    next_syn: u64,
+    stats: OptimizerStats,
+}
+
+impl BaseStationOptimizer {
+    /// Creates an optimizer with the given cost model and termination
+    /// parameter α (the paper finds α ≈ 0.6 best; see Figure 4(b)).
+    pub fn new(cost: CostModel, alpha: f64) -> Self {
+        Self::with_options(
+            cost,
+            OptimizerOptions {
+                alpha,
+                ..OptimizerOptions::default()
+            },
+        )
+    }
+
+    /// Creates an optimizer with full control over the algorithm knobs
+    /// (used by the ablation benchmarks).
+    pub fn with_options(cost: CostModel, options: OptimizerOptions) -> Self {
+        BaseStationOptimizer {
+            cost,
+            options,
+            synthetics: BTreeMap::new(),
+            user_to_syn: BTreeMap::new(),
+            user_queries: BTreeMap::new(),
+            injected: BTreeSet::new(),
+            next_syn: SYNTHETIC_ID_BASE,
+            stats: OptimizerStats::default(),
+        }
+    }
+
+    /// The termination parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.options.alpha
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Feeds an observed reading into the cost model's adaptive statistics.
+    /// Future rewriting decisions use the learned distribution instead of
+    /// the uniform assumption once enough observations accumulate.
+    pub fn observe_reading(&mut self, attr: ttmqo_query::Attribute, value: f64) {
+        self.cost.observe(attr, value);
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> OptimizerStats {
+        self.stats
+    }
+
+    /// Algorithm 1: inserts a new user query, rewriting the synthetic set.
+    ///
+    /// Returns the network operations realizing the change (possibly none,
+    /// when the query is covered by a running synthetic query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertError`] on a duplicate or reserved query id.
+    pub fn insert(&mut self, query: Query) -> Result<Vec<NetworkOp>, InsertError> {
+        let qid = query.id();
+        if qid.0 >= SYNTHETIC_ID_BASE {
+            return Err(InsertError::ReservedId(qid));
+        }
+        if self.user_queries.contains_key(&qid) {
+            return Err(InsertError::DuplicateId(qid));
+        }
+        self.user_queries.insert(qid, query.clone());
+        self.stats.inserted += 1;
+
+        let mut probe = SyntheticQuery::new(query.with_id(self.fresh_syn_id()));
+        probe.add_member(qid, &Demand::of(&query));
+        self.insert_probe(probe);
+
+        let ops = self.diff_ops();
+        if ops.is_empty() {
+            self.stats.absorbed_insertions += 1;
+        }
+        Ok(ops)
+    }
+
+    /// Algorithm 2: terminates a user query.
+    ///
+    /// If the terminated query was the only one demanding some piece of the
+    /// synthetic query's data, the α-test decides between keeping the
+    /// synthetic query unchanged (hiding the termination from the network)
+    /// and rebuilding it from the remaining members.
+    pub fn terminate(&mut self, qid: QueryId) -> Vec<NetworkOp> {
+        let Some(syn_id) = self.user_to_syn.remove(&qid) else {
+            return Vec::new();
+        };
+        let query = self
+            .user_queries
+            .remove(&qid)
+            .expect("mapped user query exists");
+        self.stats.terminated += 1;
+
+        let sq = self
+            .synthetics
+            .get_mut(&syn_id)
+            .expect("mapped synthetic exists");
+        let benefit_before = sq.benefit();
+        let freed = sq.remove_member(qid, &Demand::of(&query));
+
+        if sq.member_count() == 0 {
+            self.synthetics.remove(&syn_id);
+        } else if freed {
+            // Line 5 of Algorithm 2: keep the old synthetic query only when
+            // the vanished demand is small relative to the accumulated
+            // benefit: cost(q) ≤ benefit · α.
+            let cost_q = self.cost.cost(&query);
+            if cost_q > benefit_before * self.options.alpha {
+                let sq = self
+                    .synthetics
+                    .remove(&syn_id)
+                    .expect("synthetic still present");
+                let members: Vec<QueryId> = sq.members().collect();
+                for m in members {
+                    self.user_to_syn.remove(&m);
+                    let mq = self.user_queries[&m].clone();
+                    let mut probe = SyntheticQuery::new(mq.with_id(self.fresh_syn_id()));
+                    probe.add_member(m, &Demand::of(&mq));
+                    self.insert_probe(probe);
+                }
+            } else {
+                self.refresh_benefit(syn_id);
+            }
+        } else {
+            self.refresh_benefit(syn_id);
+        }
+
+        let ops = self.diff_ops();
+        if ops.is_empty() {
+            self.stats.absorbed_terminations += 1;
+        }
+        ops
+    }
+
+    /// The currently running synthetic queries (as injected).
+    pub fn synthetic_queries(&self) -> impl Iterator<Item = &Query> {
+        self.synthetics.values().map(|s| s.query())
+    }
+
+    /// Detailed view of a synthetic query.
+    pub fn synthetic(&self, id: QueryId) -> Option<&SyntheticQuery> {
+        self.synthetics.get(&id)
+    }
+
+    /// Number of running synthetic queries (Figure 4(c)'s y-axis).
+    pub fn synthetic_count(&self) -> usize {
+        self.synthetics.len()
+    }
+
+    /// Number of running user queries.
+    pub fn user_count(&self) -> usize {
+        self.user_queries.len()
+    }
+
+    /// The synthetic query a user query is currently written into (`qid'`).
+    pub fn mapping(&self, user: QueryId) -> Option<QueryId> {
+        self.user_to_syn.get(&user).copied()
+    }
+
+    /// A live user query by id.
+    pub fn user_query(&self, user: QueryId) -> Option<&Query> {
+        self.user_queries.get(&user)
+    }
+
+    /// Σ cost of all running user queries (the denominator of the paper's
+    /// *benefit ratio*).
+    pub fn total_user_cost(&self) -> f64 {
+        self.user_queries.values().map(|q| self.cost.cost(q)).sum()
+    }
+
+    /// Σ cost of all running synthetic queries.
+    pub fn total_synthetic_cost(&self) -> f64 {
+        self.synthetics
+            .values()
+            .map(|s| self.cost.cost(s.query()))
+            .sum()
+    }
+
+    /// The paper's benefit ratio at this instant:
+    /// `(Σ user cost − Σ synthetic cost) / Σ user cost`.
+    pub fn benefit_ratio(&self) -> f64 {
+        let user = self.total_user_cost();
+        if user <= 0.0 {
+            return 0.0;
+        }
+        (user - self.total_synthetic_cost()) / user
+    }
+
+    fn fresh_syn_id(&mut self) -> QueryId {
+        let id = QueryId(self.next_syn);
+        self.next_syn += 1;
+        id
+    }
+
+    /// The iterative core of Algorithm 1. `probe` is a detached synthetic
+    /// query (a new user query, or a just-merged synthetic): find the most
+    /// beneficial running synthetic to rewrite with; attach if covered; merge
+    /// and retry if beneficial; otherwise install as a new synthetic query.
+    fn insert_probe(&mut self, mut probe: SyntheticQuery) {
+        let mut merges = 0u32;
+        loop {
+            let pq = probe.query().clone();
+            let mut best: Option<(QueryId, f64)> = None;
+            for (id, sq) in &self.synthetics {
+                let rate = self.score(&pq, sq.query());
+                if best.is_none_or(|(_, b)| rate > b) {
+                    best = Some((*id, rate));
+                }
+                if rate >= 1.0 {
+                    break; // Algorithm 1 line 9: cannot do better than covered
+                }
+            }
+            if merges > 0 && !self.options.reinsert {
+                // Ablation: no recursive re-insertion — install the merged
+                // query as-is after the first merge.
+                best = None;
+            }
+            match best {
+                Some((id, rate)) if rate >= 1.0 => {
+                    // Covered: the probe's members ride along for free.
+                    let members: Vec<QueryId> = probe.members().collect();
+                    let sq = self.synthetics.get_mut(&id).expect("best exists");
+                    for m in &members {
+                        let demand = Demand::of(&self.user_queries[m]);
+                        sq.add_member(*m, &demand);
+                        self.user_to_syn.insert(*m, id);
+                    }
+                    self.refresh_benefit(id);
+                    return;
+                }
+                Some((id, rate)) if rate > 0.0 => {
+                    // Integrate, then re-insert the merged synthetic
+                    // (the paper's recursive `Insert(q_id, Q_syn)`).
+                    merges += 1;
+                    let old = self.synthetics.remove(&id).expect("best exists");
+                    let merged_query = integrate(self.fresh_syn_id(), old.query(), &pq)
+                        .expect("positive benefit rate implies integrable");
+                    let mut merged = SyntheticQuery::new(merged_query);
+                    for m in old.members().chain(probe.members()) {
+                        merged.add_member(m, &Demand::of(&self.user_queries[&m]));
+                    }
+                    probe = merged;
+                }
+                _ => {
+                    // No beneficial rewrite: run the probe as-is.
+                    let id = probe.id();
+                    let members: Vec<QueryId> = probe.members().collect();
+                    for m in members {
+                        self.user_to_syn.insert(m, id);
+                    }
+                    self.synthetics.insert(id, probe);
+                    self.refresh_benefit(id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Candidate score: ≥ 1.0 means covered, > 0 means a beneficial merge.
+    /// Rate mode is the paper's `Beneficial`; raw mode squashes the raw
+    /// benefit into `(0, 1)` so it never masquerades as coverage.
+    fn score(&self, probe: &Query, candidate: &Query) -> f64 {
+        if self.options.rank_by_rate {
+            return self.cost.benefit_rate(probe, candidate);
+        }
+        if ttmqo_query::covers_query(candidate, probe) {
+            return f64::INFINITY;
+        }
+        let Some(mut b) = self.cost.benefit(probe, candidate) else {
+            return 0.0;
+        };
+        if probe.is_aggregation()
+            && candidate.is_aggregation()
+            && probe.predicates().equivalent(candidate.predicates())
+        {
+            b = b.max(1e-9);
+        }
+        if b <= 0.0 {
+            b
+        } else {
+            b / (1.0 + b)
+        }
+    }
+
+    fn refresh_benefit(&mut self, id: QueryId) {
+        let Some(sq) = self.synthetics.get(&id) else {
+            return;
+        };
+        let member_cost: f64 = sq
+            .members()
+            .map(|m| self.cost.cost(&self.user_queries[&m]))
+            .sum();
+        let own = self.cost.cost(sq.query());
+        if let Some(sq) = self.synthetics.get_mut(&id) {
+            sq.set_benefit(member_cost - own);
+        }
+    }
+
+    /// Computes the injections/abortions turning the previously injected set
+    /// into the current synthetic set.
+    fn diff_ops(&mut self) -> Vec<NetworkOp> {
+        let current: BTreeSet<QueryId> = self.synthetics.keys().copied().collect();
+        let mut ops = Vec::new();
+        for &gone in self.injected.difference(&current) {
+            ops.push(NetworkOp::Abort(gone));
+            self.stats.abortions += 1;
+        }
+        for &new in current.difference(&self.injected) {
+            ops.push(NetworkOp::Inject(self.synthetics[&new].query().clone()));
+            self.stats.injections += 1;
+        }
+        self.injected = current;
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_query::{covers_query, parse_query};
+    use ttmqo_stats::{LevelStats, SelectivityEstimator};
+
+    fn opt(alpha: f64) -> BaseStationOptimizer {
+        let model = CostModel::new(
+            1.0,
+            0.0,
+            LevelStats::from_counts([4, 4, 4]),
+            SelectivityEstimator::uniform(),
+        );
+        BaseStationOptimizer::new(model, alpha)
+    }
+
+    fn q(id: u64, text: &str) -> Query {
+        parse_query(QueryId(id), text).unwrap()
+    }
+
+    /// Every live user query must be covered by its synthetic query.
+    fn assert_invariants(o: &BaseStationOptimizer) {
+        for (uid, syn_id) in &o.user_to_syn {
+            let sq = o
+                .synthetic(*syn_id)
+                .unwrap_or_else(|| panic!("user {uid} maps to missing synthetic {syn_id}"));
+            assert!(sq.contains_member(*uid));
+            let uq = o.user_query(*uid).unwrap();
+            assert!(
+                covers_query(sq.query(), uq),
+                "synthetic {} does not cover user {}",
+                sq.query(),
+                uq
+            );
+        }
+        assert_eq!(o.user_to_syn.len(), o.user_count());
+        let member_total: usize = o.synthetics.values().map(|s| s.member_count()).sum();
+        assert_eq!(member_total, o.user_count());
+    }
+
+    #[test]
+    fn first_query_becomes_its_own_synthetic() {
+        let mut o = opt(0.6);
+        let ops = o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0], NetworkOp::Inject(_)));
+        assert_eq!(o.synthetic_count(), 1);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn covered_query_is_absorbed_silently() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light, temp epoch duration 2048"))
+            .unwrap();
+        let ops = o.insert(q(2, "select light epoch duration 4096")).unwrap();
+        assert!(
+            ops.is_empty(),
+            "covered insertion must not touch the network"
+        );
+        assert_eq!(o.synthetic_count(), 1);
+        assert_eq!(o.stats().absorbed_insertions, 1);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn paper_worked_example_rewrites_cascade() {
+        // §3.1.3: q1 and q2 don't merge; q3 merges with q2; the merged q2''
+        // then beneficially merges with q1'.
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light where 280<light<600 epoch duration 2048"))
+            .unwrap();
+        o.insert(q(2, "select light where 100<light<300 epoch duration 4096"))
+            .unwrap();
+        assert_eq!(o.synthetic_count(), 2, "q1 and q2 must stay separate");
+
+        o.insert(q(3, "select light where 150<light<500 epoch duration 4096"))
+            .unwrap();
+        // The recursive re-insertion merges everything into one synthetic.
+        assert_eq!(o.synthetic_count(), 1, "cascade must fold all three");
+        let syn = o.synthetic_queries().next().unwrap();
+        assert_eq!(syn.epoch().as_ms(), 2048);
+        let r = syn
+            .predicates()
+            .range(ttmqo_query::Attribute::Light)
+            .unwrap();
+        assert_eq!((r.min(), r.max()), (101.0, 599.0));
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn duplicate_and_reserved_ids_are_rejected() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        assert_eq!(
+            o.insert(q(1, "select temp epoch duration 2048"))
+                .unwrap_err(),
+            InsertError::DuplicateId(QueryId(1))
+        );
+        assert_eq!(
+            o.insert(q(SYNTHETIC_ID_BASE, "select temp epoch duration 2048"))
+                .unwrap_err(),
+            InsertError::ReservedId(QueryId(SYNTHETIC_ID_BASE))
+        );
+    }
+
+    #[test]
+    fn same_predicate_aggregations_merge() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select max(light) epoch duration 4096"))
+            .unwrap();
+        let ops = o
+            .insert(q(2, "select min(light) epoch duration 4096"))
+            .unwrap();
+        assert_eq!(o.synthetic_count(), 1);
+        // One abort (old synthetic) + one inject (merged).
+        assert_eq!(ops.len(), 2);
+        let syn = o.synthetic_queries().next().unwrap();
+        assert!(syn.is_aggregation());
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn different_predicate_aggregations_stay_apart() {
+        let mut o = opt(0.6);
+        o.insert(q(
+            1,
+            "select max(light) where 0<=light<=300 epoch duration 2048",
+        ))
+        .unwrap();
+        o.insert(q(
+            2,
+            "select max(light) where 0<=light<=600 epoch duration 2048",
+        ))
+        .unwrap();
+        assert_eq!(o.synthetic_count(), 2);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn aggregation_folds_into_covering_acquisition() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light, temp epoch duration 2048"))
+            .unwrap();
+        let ops = o
+            .insert(q(2, "select max(light) epoch duration 4096"))
+            .unwrap();
+        // The acquisition stream already carries everything MAX(light) needs.
+        assert!(ops.is_empty());
+        assert_eq!(o.synthetic_count(), 1);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn termination_of_sole_query_aborts_synthetic() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        let ops = o.terminate(QueryId(1));
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0], NetworkOp::Abort(_)));
+        assert_eq!(o.synthetic_count(), 0);
+        assert_eq!(o.user_count(), 0);
+    }
+
+    #[test]
+    fn termination_of_redundant_member_is_silent() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        o.insert(q(2, "select light epoch duration 2048")).unwrap();
+        assert_eq!(o.synthetic_count(), 1);
+        let ops = o.terminate(QueryId(2));
+        assert!(ops.is_empty(), "identical twin termination must be hidden");
+        assert_eq!(o.stats().absorbed_terminations, 1);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn alpha_gates_rebuild_on_termination() {
+        // q_broad's demand dominates the synthetic; terminating it with a
+        // small α forces a rebuild, while a huge α keeps the synthetic.
+        let build = |alpha: f64| {
+            let mut o = opt(alpha);
+            o.insert(q(
+                1,
+                "select light where 0<=light<=1000 epoch duration 2048",
+            ))
+            .unwrap();
+            o.insert(q(2, "select light where 0<=light<=200 epoch duration 4096"))
+                .unwrap();
+            assert_eq!(o.synthetic_count(), 1);
+            let ops = o.terminate(QueryId(1));
+            (o, ops)
+        };
+        let (o_small, ops_small) = build(0.1);
+        assert!(!ops_small.is_empty(), "small α must rebuild");
+        let syn = o_small.synthetic_queries().next().unwrap();
+        let r = syn
+            .predicates()
+            .range(ttmqo_query::Attribute::Light)
+            .unwrap();
+        assert_eq!((r.min(), r.max()), (0.0, 200.0), "rebuilt tight query");
+        assert_invariants(&o_small);
+
+        let (o_big, ops_big) = build(1e6);
+        assert!(ops_big.is_empty(), "huge α must keep the old synthetic");
+        let syn = o_big.synthetic_queries().next().unwrap();
+        assert!(
+            syn.predicates()
+                .range(ttmqo_query::Attribute::Light)
+                .is_none()
+                || syn
+                    .predicates()
+                    .range(ttmqo_query::Attribute::Light)
+                    .unwrap()
+                    .max()
+                    >= 1000.0
+        );
+        assert_invariants(&o_big);
+    }
+
+    #[test]
+    fn terminate_unknown_query_is_noop() {
+        let mut o = opt(0.6);
+        assert!(o.terminate(QueryId(99)).is_empty());
+    }
+
+    #[test]
+    fn benefit_ratio_grows_with_similarity() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        assert!(o.benefit_ratio().abs() < 1e-9, "single query: no benefit");
+        for i in 2..=8 {
+            o.insert(q(i, "select light epoch duration 2048")).unwrap();
+        }
+        // 8 identical queries served by 1 synthetic: ratio = 7/8.
+        assert!((o.benefit_ratio() - 7.0 / 8.0).abs() < 1e-9);
+        assert_eq!(o.synthetic_count(), 1);
+    }
+
+    #[test]
+    fn many_random_inserts_and_terminates_keep_invariants() {
+        let mut o = opt(0.6);
+        let texts = [
+            "select light where 100<light<300 epoch duration 4096",
+            "select light where 150<light<500 epoch duration 4096",
+            "select light, temp epoch duration 2048",
+            "select max(light) epoch duration 8192",
+            "select min(temp) where 0<=temp<=500 epoch duration 4096",
+            "select nodeid, light epoch duration 6144",
+            "select max(light) epoch duration 4096",
+            "select humidity where 20<=humidity<=80 epoch duration 2048",
+        ];
+        for (i, t) in texts.iter().enumerate() {
+            o.insert(q(i as u64, t)).unwrap();
+            assert_invariants(&o);
+        }
+        for i in [2u64, 0, 5, 7] {
+            o.terminate(QueryId(i));
+            assert_invariants(&o);
+        }
+        assert_eq!(o.user_count(), 4);
+        // Everything still answered.
+        for i in [1u64, 3, 4, 6] {
+            assert!(o.mapping(QueryId(i)).is_some());
+        }
+    }
+}

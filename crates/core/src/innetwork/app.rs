@@ -1,0 +1,874 @@
+//! The TTMQO in-network node application — tier 2 (§3.2).
+//!
+//! Implements all three in-network mechanisms:
+//!
+//! * **Sharing over time** (§3.2.1): one node clock firing at the GCD of all
+//!   running epoch durations, epoch starts aligned to duration multiples, so
+//!   every query due at a firing shares a single sample acquisition.
+//! * **Sharing over space** (§3.2.2): query floods piggyback has-data bits to
+//!   build a DAG; each result message dynamically picks parents that carry
+//!   data for the same queries (multicast with split responsibility when one
+//!   parent cannot cover all); one shared frame answers every due query.
+//! * **Sleep mode**: a node whose data satisfies no query and that relayed
+//!   nothing in the current collection window sleeps until the next firing,
+//!   announcing itself with a one-hop wake-up broadcast when its data
+//!   qualifies again.
+
+use crate::innetwork::dag::DagState;
+use crate::innetwork::payload::{PartialEntry, RowEntry, TtmqoPayload};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ttmqo_query::{
+    AggValue, EpochAnswer, EpochDuration, PartialAgg, Query, QueryId, Readings, Row, Selection,
+};
+use ttmqo_sim::{Ctx, Destination, MsgKind, NodeApp, NodeId};
+use ttmqo_tinydb::{Command, Output, Srt};
+
+const K_CLOCK: u64 = 0;
+const K_SLOT: u64 = 1;
+const K_CLOSE: u64 = 2;
+const K_FLOOD_QUERY: u64 = 3;
+const K_FLOOD_ABORT: u64 = 4;
+const K_SLEEP_CHECK: u64 = 5;
+
+fn key(kind: u64, qid: QueryId, extra: u64) -> u64 {
+    (extra << 32) | ((qid.0 & 0x0FFF_FFFF) << 4) | kind
+}
+
+fn key_parts(key: u64) -> (u64, QueryId, u64) {
+    (key & 0xF, QueryId((key >> 4) & 0x0FFF_FFFF), key >> 32)
+}
+
+/// Configuration of the in-network tier.
+#[derive(Debug, Clone)]
+pub struct TtmqoConfig {
+    /// Length of one aggregation transmission slot, ms.
+    pub slot_ms: u64,
+    /// Maximum random jitter on floods and slots, ms.
+    pub jitter_ms: u64,
+    /// Whether idle nodes sleep between firings (§3.2.2's sleep mode).
+    pub sleep: bool,
+    /// Whether parents are chosen dynamically per message (§3.2.2). When
+    /// false, every message follows the fixed link-quality tree (ablation:
+    /// shared messages without query-aware routing).
+    pub dynamic_parents: bool,
+    /// Whether rebooted nodes may recover query definitions from neighbours
+    /// (a node that hears traffic for an unknown query broadcasts a request;
+    /// any neighbour that knows the query shares it). Extension beyond the
+    /// paper, which leaves node failures to future work.
+    pub query_recovery: bool,
+    /// Whether the Semantic Routing Tree prunes dissemination of queries
+    /// with `nodeid` predicates (§3.2.2 mentions SRT as the alternative to
+    /// flooding for node-id based queries; off by default).
+    pub srt: bool,
+}
+
+impl Default for TtmqoConfig {
+    fn default() -> Self {
+        TtmqoConfig {
+            slot_ms: 64,
+            jitter_ms: 24,
+            sleep: true,
+            dynamic_parents: true,
+            query_recovery: true,
+            srt: false,
+        }
+    }
+}
+
+/// The TTMQO in-network node application.
+///
+/// Accepts the same [`Command`]s and emits the same [`Output`]s as the
+/// baseline [`TinyDbApp`](ttmqo_tinydb::TinyDbApp), so runners can swap the
+/// two; the queries it executes are whatever the first tier injects (raw user
+/// queries for the in-network-only strategy, synthetic queries for the full
+/// two-tier scheme).
+#[derive(Debug)]
+pub struct TtmqoApp {
+    config: TtmqoConfig,
+    queries: BTreeMap<QueryId, Query>,
+    seen_query_floods: BTreeSet<QueryId>,
+    seen_abort_floods: BTreeSet<QueryId>,
+    dag: DagState,
+    /// Bumped on every query-set change to invalidate stale clock timers.
+    clock_gen: u64,
+    /// Queries this node's latest readings satisfy.
+    has_data: BTreeSet<QueryId>,
+    /// Whether any message was relayed since the last firing (sleep gate).
+    relayed_recently: bool,
+    /// Whether this node actually slept during the last inter-firing gap.
+    slept: bool,
+    /// Unknown query ids we already asked the neighbourhood about.
+    requested_queries: BTreeSet<QueryId>,
+    /// Queries this node only forwards (SRT-pruned: our id can never match),
+    /// kept for the flood-relay timer.
+    forward_only: BTreeMap<QueryId, Query>,
+    /// Semantic routing tree (built lazily when `config.srt` is on).
+    srt: Option<Srt>,
+    /// Aggregation partials per (query, epoch-start ms).
+    agg_buffers: HashMap<(QueryId, u64), Vec<Option<PartialAgg>>>,
+    /// Base station only: acquisition rows per (query, epoch-start ms).
+    row_buffers: HashMap<(QueryId, u64), Vec<Row>>,
+}
+
+impl TtmqoApp {
+    /// Creates an in-network node with the given configuration.
+    pub fn new(config: TtmqoConfig) -> Self {
+        TtmqoApp {
+            config,
+            queries: BTreeMap::new(),
+            seen_query_floods: BTreeSet::new(),
+            seen_abort_floods: BTreeSet::new(),
+            dag: DagState::default(),
+            clock_gen: 0,
+            has_data: BTreeSet::new(),
+            relayed_recently: false,
+            slept: false,
+            requested_queries: BTreeSet::new(),
+            forward_only: BTreeMap::new(),
+            srt: None,
+            agg_buffers: HashMap::new(),
+            row_buffers: HashMap::new(),
+        }
+    }
+
+    /// Currently installed queries (for tests and inspection).
+    pub fn installed_queries(&self) -> impl Iterator<Item = &Query> {
+        self.queries.values()
+    }
+
+    /// Queries this node's latest readings satisfy (for tests).
+    pub fn has_data_for(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.has_data.iter().copied()
+    }
+
+    fn gcd_epoch(&self) -> Option<EpochDuration> {
+        EpochDuration::gcd_all(self.queries.values().map(|q| q.epoch()))
+    }
+
+    /// (Re)arms the shared clock after any query-set change (§3.2.1: "we
+    /// (re)set the node's clock to fire at the GCD of the epoch durations of
+    /// all the queries").
+    fn rearm_clock(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>) {
+        self.clock_gen += 1;
+        let Some(gcd) = self.gcd_epoch() else { return };
+        let now = ctx.now().as_ms();
+        let next = gcd.next_fire_at(now + 1);
+        ctx.set_timer(next - now, key(K_CLOCK, QueryId(0), self.clock_gen));
+        ctx.wake();
+    }
+
+    fn install(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, query: Query) {
+        if self.queries.contains_key(&query.id()) {
+            return;
+        }
+        self.queries.insert(query.id(), query);
+        self.rearm_clock(ctx);
+    }
+
+    fn uninstall(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, qid: QueryId) {
+        if self.queries.remove(&qid).is_none() {
+            return;
+        }
+        self.has_data.remove(&qid);
+        self.forward_only.remove(&qid);
+        self.dag.forget_query(qid);
+        self.agg_buffers.retain(|(id, _), _| *id != qid);
+        self.row_buffers.retain(|(id, _), _| *id != qid);
+        self.rearm_clock(ctx);
+    }
+
+    fn relay_query_flood(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, query: &Query) {
+        if !self.seen_query_floods.insert(query.id()) {
+            return;
+        }
+        let (forwards, matches) = if self.config.srt && !ctx.is_base_station() {
+            let node = ctx.node();
+            let srt = self.srt.get_or_insert_with(|| Srt::build(ctx.topology()));
+            (srt.forwards(node, query), srt.node_matches(node, query))
+        } else {
+            (true, true)
+        };
+        if forwards {
+            let jitter = 1 + ctx.rand_u64() % self.config.jitter_ms.max(1);
+            ctx.set_timer(jitter, key(K_FLOOD_QUERY, query.id(), 0));
+        }
+        if matches || ctx.is_base_station() {
+            self.install(ctx, query.clone());
+        } else if forwards {
+            // SRT-pruned: we only relay the flood; our id can never satisfy
+            // the query, so it must not drive our sampling clock.
+            self.forward_only.insert(query.id(), query.clone());
+        }
+    }
+
+    fn relay_abort_flood(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, qid: QueryId) {
+        if !self.seen_abort_floods.insert(qid) {
+            return;
+        }
+        let jitter = 1 + ctx.rand_u64() % self.config.jitter_ms.max(1);
+        ctx.set_timer(jitter, key(K_FLOOD_ABORT, qid, 0));
+        self.uninstall(ctx, qid);
+    }
+
+    /// Collection window: how long after a firing the base station waits
+    /// before emitting, and how long an idle node stays awake to relay.
+    fn window_ms(&self, ctx: &Ctx<'_, TtmqoPayload, Output>) -> u64 {
+        (ctx.topology().max_level() as u64 + 1) * self.config.slot_ms + self.config.jitter_ms + 32
+    }
+
+    /// Whether this node's physical position satisfies the query's region
+    /// clause.
+    fn in_region(ctx: &Ctx<'_, TtmqoPayload, Output>, query: &Query) -> bool {
+        query.region().is_none_or(|r| {
+            let pos = ctx.topology().position(ctx.node());
+            r.contains(pos.x, pos.y)
+        })
+    }
+
+    fn slot_delay_ms(&self, ctx: &mut Ctx<'_, TtmqoPayload, Output>) -> u64 {
+        let depth_from_bottom = (ctx.topology().max_level() - ctx.level()) as u64;
+        depth_from_bottom * self.config.slot_ms + ctx.rand_u64() % self.config.jitter_ms.max(1)
+    }
+
+    /// Handles one firing of the shared clock at (aligned) time `t_ms`.
+    fn handle_clock(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, t_ms: u64) {
+        self.relayed_recently = false;
+        let due: Vec<Query> = self
+            .queries
+            .values()
+            .filter(|q| q.epoch().fires_at(t_ms))
+            .cloned()
+            .collect();
+        if due.is_empty() {
+            self.maybe_sleep(ctx, t_ms);
+            return;
+        }
+        let epoch_idx = t_ms / ttmqo_query::BASE_EPOCH_MS;
+
+        if ctx.is_base_station() {
+            // The base station senses nothing; it closes each due query's
+            // epoch after the collection window.
+            let window = self.window_ms(ctx);
+            for q in &due {
+                ctx.set_timer(window, key(K_CLOSE, q.id(), epoch_idx));
+            }
+            return;
+        }
+
+        // §3.2.1 — shared data acquisition: sample the union of the due
+        // queries' attributes exactly once (region-excluded queries can
+        // never match here, so their attributes are not worth sampling).
+        let mut union_attrs: Vec<ttmqo_query::Attribute> = Vec::new();
+        for q in &due {
+            if Self::in_region(ctx, q) {
+                union_attrs.extend(q.sampled_attributes());
+            }
+        }
+        union_attrs.sort_unstable();
+        union_attrs.dedup();
+        let mut readings = Readings::new();
+        for attr in union_attrs {
+            let v = ctx.read_sensor(attr);
+            readings.set(attr, v);
+        }
+
+        let had_data = !self.has_data.is_empty();
+        let mut acq_matches: BTreeSet<QueryId> = BTreeSet::new();
+        let mut agg_matches: Vec<Query> = Vec::new();
+        for q in &due {
+            let matches = Self::in_region(ctx, q)
+                && q.predicates()
+                    .matches_with(|attr| readings.get(attr).unwrap_or(f64::NAN));
+            if matches {
+                self.has_data.insert(q.id());
+                match q.selection() {
+                    Selection::Attributes(_) => {
+                        acq_matches.insert(q.id());
+                    }
+                    Selection::Aggregates(_) => agg_matches.push(q.clone()),
+                }
+            } else {
+                self.has_data.remove(&q.id());
+            }
+        }
+
+        // Wake-up announcement (§3.2.2): only after an *actual* sleep, and
+        // only when no result transmission at this firing will announce us
+        // anyway — neighbours learn has-data sets by overhearing result
+        // frames, so an explicit broadcast is needed only for data that
+        // serves queries not due right now.
+        let transmits_now = !acq_matches.is_empty() || !agg_matches.is_empty();
+        if self.config.sleep
+            && self.slept
+            && !had_data
+            && !self.has_data.is_empty()
+            && !transmits_now
+        {
+            let payload = TtmqoPayload::Wakeup {
+                has_data: self.has_data.iter().copied().collect(),
+            };
+            let bytes = payload.wire_size();
+            ctx.send(Destination::Broadcast, MsgKind::Wakeup, bytes, payload);
+        }
+        self.slept = false;
+
+        // Shared acquisition result: one frame answers every matched
+        // acquisition query.
+        if !acq_matches.is_empty() {
+            let mut attrs: Vec<ttmqo_query::Attribute> = Vec::new();
+            for qid in &acq_matches {
+                if let Selection::Attributes(a) = self.queries[qid].selection() {
+                    attrs.extend(a.iter().copied());
+                }
+            }
+            attrs.sort_unstable();
+            attrs.dedup();
+            let entry = RowEntry {
+                node: ctx.node().0,
+                qids: acq_matches.clone(),
+                readings: readings.project(&attrs),
+            };
+            self.send_shared_rows(ctx, t_ms, vec![entry], &acq_matches);
+        }
+
+        // Shared aggregation: seed own partials, then transmit at this
+        // node's TAG slot (deeper levels earlier).
+        for q in &agg_matches {
+            if let Selection::Aggregates(aggs) = q.selection() {
+                let seeded: Vec<Option<PartialAgg>> = aggs
+                    .iter()
+                    .map(|&(op, attr)| readings.get(attr).map(|v| op.seed(v)))
+                    .collect();
+                merge_into(
+                    self.agg_buffers
+                        .entry((q.id(), t_ms))
+                        .or_insert_with(|| vec![None; aggs.len()]),
+                    &seeded,
+                );
+            }
+        }
+        if due.iter().any(|q| q.is_aggregation()) {
+            let delay = self.slot_delay_ms(ctx).max(1);
+            ctx.set_timer(delay, key(K_SLOT, QueryId(0), epoch_idx));
+        }
+
+        self.maybe_sleep(ctx, t_ms);
+    }
+
+    /// Schedules the post-window sleep check.
+    fn maybe_sleep(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, t_ms: u64) {
+        if !self.config.sleep || ctx.is_base_station() || self.queries.is_empty() {
+            return;
+        }
+        let window = self.window_ms(ctx);
+        let epoch_idx = t_ms / ttmqo_query::BASE_EPOCH_MS;
+        ctx.set_timer(window, key(K_SLEEP_CHECK, QueryId(0), epoch_idx));
+    }
+
+    fn handle_sleep_check(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>) {
+        if !self.has_data.is_empty() || self.relayed_recently || self.queries.is_empty() {
+            return;
+        }
+        let Some(gcd) = self.gcd_epoch() else { return };
+        let now = ctx.now().as_ms();
+        let next = gcd.next_fire_at(now + 1);
+        // Wake a little early so the radio is up when the epoch fires.
+        let nap = next.saturating_sub(now).saturating_sub(8);
+        if nap > 0 {
+            self.slept = true;
+            ctx.sleep_for(nap);
+        }
+    }
+
+    /// Routes a message's query set to parents: dynamically via the DAG, or
+    /// to the fixed link-quality parent when `dynamic_parents` is off.
+    fn route(
+        &self,
+        ctx: &Ctx<'_, TtmqoPayload, Output>,
+        qids: &BTreeSet<QueryId>,
+    ) -> Vec<(NodeId, BTreeSet<QueryId>)> {
+        if self.config.dynamic_parents {
+            self.dag.choose_parents(qids)
+        } else {
+            match ctx.topology().default_parent(ctx.node()) {
+                Some(p) => vec![(p, qids.clone())],
+                None => Vec::new(),
+            }
+        }
+    }
+
+    /// Sends (or forwards) a shared acquisition frame toward the base
+    /// station via dynamically chosen parents.
+    fn send_shared_rows(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        epoch_ms: u64,
+        entries: Vec<RowEntry>,
+        qids: &BTreeSet<QueryId>,
+    ) {
+        let parents = self.route(ctx, qids);
+        if parents.is_empty() {
+            return;
+        }
+        let assignments: Vec<(NodeId, Vec<QueryId>)> = parents
+            .iter()
+            .map(|(n, qs)| (*n, qs.iter().copied().collect()))
+            .collect();
+        let dest = if parents.len() == 1 {
+            Destination::Unicast(parents[0].0)
+        } else {
+            Destination::Multicast(parents.iter().map(|(n, _)| *n).collect())
+        };
+        let payload = TtmqoPayload::SharedRows {
+            epoch_ms,
+            entries,
+            assignments,
+        };
+        let bytes = payload.wire_size();
+        ctx.send(dest, MsgKind::Result, bytes, payload);
+    }
+
+    /// Sends the shared aggregation frame for one epoch from the buffers.
+    fn flush_partials(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, epoch_ms: u64) {
+        let keys: Vec<(QueryId, u64)> = self
+            .agg_buffers
+            .keys()
+            .filter(|(_, e)| *e == epoch_ms)
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        let mut entries = Vec::new();
+        let mut qids = BTreeSet::new();
+        for k in keys {
+            let partials = self.agg_buffers.remove(&k).expect("key just listed");
+            if partials.iter().all(Option::is_none) {
+                continue;
+            }
+            qids.insert(k.0);
+            entries.push(PartialEntry { qid: k.0, partials });
+        }
+        if entries.is_empty() {
+            return;
+        }
+        let parents = self.route(ctx, &qids);
+        if parents.is_empty() {
+            return;
+        }
+        let assignments: Vec<(NodeId, Vec<QueryId>)> = parents
+            .iter()
+            .map(|(n, qs)| (*n, qs.iter().copied().collect()))
+            .collect();
+        let dest = if parents.len() == 1 {
+            Destination::Unicast(parents[0].0)
+        } else {
+            Destination::Multicast(parents.iter().map(|(n, _)| *n).collect())
+        };
+        let payload = TtmqoPayload::SharedPartials {
+            epoch_ms,
+            entries,
+            assignments,
+        };
+        let bytes = payload.wire_size();
+        ctx.send(dest, MsgKind::Result, bytes, payload);
+    }
+
+    fn handle_close(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        qid: QueryId,
+        epoch_ms: u64,
+    ) {
+        let Some(query) = self.queries.get(&qid) else {
+            self.agg_buffers.remove(&(qid, epoch_ms));
+            self.row_buffers.remove(&(qid, epoch_ms));
+            return;
+        };
+        let answer = match query.selection() {
+            Selection::Attributes(_) => {
+                let mut rows = self
+                    .row_buffers
+                    .remove(&(qid, epoch_ms))
+                    .unwrap_or_default();
+                rows.sort_by_key(|r| r.node);
+                rows.dedup_by_key(|r| r.node);
+                EpochAnswer::Rows(rows)
+            }
+            Selection::Aggregates(aggs) => {
+                let partials = self
+                    .agg_buffers
+                    .remove(&(qid, epoch_ms))
+                    .unwrap_or_default();
+                let values: Vec<AggValue> = aggs
+                    .iter()
+                    .zip(partials.iter().chain(std::iter::repeat(&None)))
+                    .filter_map(|(&(op, attr), p)| {
+                        p.as_ref().map(|p| AggValue {
+                            op,
+                            attr,
+                            value: p.finalize(),
+                        })
+                    })
+                    .collect();
+                EpochAnswer::Aggregates(values)
+            }
+        };
+        ctx.emit(Output::Answer {
+            qid,
+            epoch_ms,
+            answer,
+        });
+    }
+
+    /// Failure recovery: ask the neighbourhood about query ids we hear
+    /// traffic for but do not know (at most once per id per reboot).
+    fn request_unknown_queries<'q, I: IntoIterator<Item = &'q QueryId>>(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        qids: I,
+    ) {
+        if !self.config.query_recovery {
+            return;
+        }
+        for &qid in qids {
+            // Never request a query whose flood we already saw: either we
+            // installed it, or SRT deliberately pruned it for this node.
+            if self.queries.contains_key(&qid)
+                || self.forward_only.contains_key(&qid)
+                || self.seen_query_floods.contains(&qid)
+                || self.seen_abort_floods.contains(&qid)
+                || !self.requested_queries.insert(qid)
+            {
+                continue;
+            }
+            let payload = TtmqoPayload::QueryRequest(qid);
+            let bytes = payload.wire_size();
+            ctx.send(Destination::Broadcast, MsgKind::Maintenance, bytes, payload);
+        }
+    }
+
+    /// My share of a split-responsibility assignment.
+    fn my_assignment(
+        ctx: &Ctx<'_, TtmqoPayload, Output>,
+        assignments: &[(NodeId, Vec<QueryId>)],
+    ) -> BTreeSet<QueryId> {
+        assignments
+            .iter()
+            .filter(|(n, _)| *n == ctx.node())
+            .flat_map(|(_, qs)| qs.iter().copied())
+            .collect()
+    }
+
+    fn handle_shared_rows(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        epoch_ms: u64,
+        entries: &[RowEntry],
+        assignments: &[(NodeId, Vec<QueryId>)],
+    ) {
+        let mine = Self::my_assignment(ctx, assignments);
+        self.request_unknown_queries(ctx, mine.iter());
+        if mine.is_empty() {
+            return;
+        }
+        let kept: Vec<RowEntry> = entries
+            .iter()
+            .filter_map(|e| {
+                let qids: BTreeSet<QueryId> = e.qids.intersection(&mine).copied().collect();
+                if qids.is_empty() {
+                    None
+                } else {
+                    Some(RowEntry {
+                        node: e.node,
+                        qids,
+                        readings: e.readings.clone(),
+                    })
+                }
+            })
+            .collect();
+        if kept.is_empty() {
+            return;
+        }
+        if ctx.is_base_station() {
+            for entry in kept {
+                for qid in &entry.qids {
+                    let Some(q) = self.queries.get(qid) else {
+                        continue;
+                    };
+                    let Selection::Attributes(attrs) = q.selection() else {
+                        continue;
+                    };
+                    self.row_buffers
+                        .entry((*qid, epoch_ms))
+                        .or_default()
+                        .push(Row {
+                            node: entry.node,
+                            time_ms: epoch_ms,
+                            readings: entry.readings.project(attrs),
+                        });
+                }
+            }
+            return;
+        }
+        self.relayed_recently = true;
+        let qids: BTreeSet<QueryId> = kept.iter().flat_map(|e| e.qids.iter().copied()).collect();
+        self.send_shared_rows(ctx, epoch_ms, kept, &qids);
+    }
+
+    fn handle_shared_partials(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        epoch_ms: u64,
+        entries: &[PartialEntry],
+        assignments: &[(NodeId, Vec<QueryId>)],
+    ) {
+        let mine = Self::my_assignment(ctx, assignments);
+        self.request_unknown_queries(ctx, mine.iter());
+        if mine.is_empty() {
+            return;
+        }
+        let kept: Vec<&PartialEntry> = entries.iter().filter(|e| mine.contains(&e.qid)).collect();
+        if kept.is_empty() {
+            return;
+        }
+        for e in &kept {
+            merge_into(
+                self.agg_buffers.entry((e.qid, epoch_ms)).or_default(),
+                &e.partials,
+            );
+        }
+        if ctx.is_base_station() {
+            return;
+        }
+        self.relayed_recently = true;
+        // If our TAG slot for this epoch already passed (late child), flush
+        // immediately; otherwise make sure a slot timer exists (a pure relay
+        // with no installed aggregation query never armed one at the clock
+        // firing). Duplicate fires are harmless: the buffer empties once.
+        let my_slot =
+            epoch_ms + (ctx.topology().max_level() - ctx.level()) as u64 * self.config.slot_ms;
+        let now = ctx.now().as_ms();
+        if now > my_slot + self.config.jitter_ms {
+            self.flush_partials(ctx, epoch_ms);
+        } else {
+            let epoch_idx = epoch_ms / ttmqo_query::BASE_EPOCH_MS;
+            ctx.set_timer(
+                my_slot.saturating_sub(now).max(1),
+                key(K_SLOT, QueryId(0), epoch_idx),
+            );
+        }
+    }
+}
+
+/// Merges `incoming` into `buffer` element-wise, growing the buffer.
+fn merge_into(buffer: &mut Vec<Option<PartialAgg>>, incoming: &[Option<PartialAgg>]) {
+    if buffer.len() < incoming.len() {
+        buffer.resize(incoming.len(), None);
+    }
+    for (slot, inc) in buffer.iter_mut().zip(incoming) {
+        match (slot.as_mut(), inc) {
+            (Some(a), Some(b)) => a.merge(b).expect("aligned partials share operators"),
+            (None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+    }
+}
+
+impl NodeApp for TtmqoApp {
+    type Payload = TtmqoPayload;
+    type Command = Command;
+    type Output = Output;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>) {
+        let node = ctx.node();
+        let topo = ctx.topology();
+        let upper: Vec<(NodeId, f64)> = topo
+            .upper_neighbors(node)
+            .into_iter()
+            .map(|n| (n, topo.link_quality(node, n)))
+            .collect();
+        self.dag = DagState::new(upper);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, timer_key: u64) {
+        let (kind, qid, extra) = key_parts(timer_key);
+        match kind {
+            K_CLOCK => {
+                if extra != self.clock_gen {
+                    return; // stale clock from before a query-set change
+                }
+                let Some(gcd) = self.gcd_epoch() else { return };
+                let now = ctx.now().as_ms();
+                let t = now - now % gcd.as_ms();
+                ctx.set_timer(gcd.as_ms(), key(K_CLOCK, QueryId(0), self.clock_gen));
+                self.handle_clock(ctx, t);
+            }
+            K_SLOT => {
+                self.flush_partials(ctx, extra * ttmqo_query::BASE_EPOCH_MS);
+            }
+            K_CLOSE => {
+                self.handle_close(ctx, qid, extra * ttmqo_query::BASE_EPOCH_MS);
+            }
+            K_FLOOD_QUERY => {
+                let Some(query) = self
+                    .queries
+                    .get(&qid)
+                    .or_else(|| self.forward_only.get(&qid))
+                    .cloned()
+                else {
+                    return;
+                };
+                // Evaluate whether we have data for the new query so the
+                // flood piggybacks fresh information downstream.
+                if !ctx.is_base_station() {
+                    let mut readings = Readings::new();
+                    for attr in query.sampled_attributes() {
+                        let v = ctx.read_sensor(attr);
+                        readings.set(attr, v);
+                    }
+                    let matches = Self::in_region(ctx, &query)
+                        && query
+                            .predicates()
+                            .matches_with(|attr| readings.get(attr).expect("attributes sampled"));
+                    if matches {
+                        self.has_data.insert(qid);
+                    } else {
+                        self.has_data.remove(&qid);
+                    }
+                }
+                let payload = TtmqoPayload::Query {
+                    query,
+                    has_data: self.has_data.iter().copied().collect(),
+                };
+                let bytes = payload.wire_size();
+                ctx.send(
+                    Destination::Broadcast,
+                    MsgKind::QueryPropagation,
+                    bytes,
+                    payload,
+                );
+            }
+            K_FLOOD_ABORT => {
+                let payload = TtmqoPayload::Abort(qid);
+                let bytes = payload.wire_size();
+                ctx.send(Destination::Broadcast, MsgKind::QueryAbort, bytes, payload);
+            }
+            K_SLEEP_CHECK => {
+                self.handle_sleep_check(ctx);
+            }
+            _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        from: NodeId,
+        _kind: MsgKind,
+        payload: &TtmqoPayload,
+    ) {
+        match payload {
+            TtmqoPayload::Query { query, has_data } => {
+                self.dag.record_has_data(from, has_data.iter().copied());
+                self.relay_query_flood(ctx, query);
+            }
+            TtmqoPayload::Abort(qid) => {
+                self.relay_abort_flood(ctx, *qid);
+            }
+            TtmqoPayload::Wakeup { has_data } => {
+                self.dag.record_has_data(from, has_data.iter().copied());
+            }
+            TtmqoPayload::SharedRows {
+                epoch_ms,
+                entries,
+                assignments,
+            } => {
+                self.handle_shared_rows(ctx, *epoch_ms, entries, assignments);
+            }
+            TtmqoPayload::SharedPartials {
+                epoch_ms,
+                entries,
+                assignments,
+            } => {
+                self.handle_shared_partials(ctx, *epoch_ms, entries, assignments);
+            }
+            TtmqoPayload::QueryRequest(qid) => {
+                if let Some(query) = self.queries.get(qid).cloned() {
+                    let payload = TtmqoPayload::QueryShare(query);
+                    let bytes = payload.wire_size();
+                    // Small jitter so several helpful neighbours desynchronize.
+                    let _ = ctx.rand_u64();
+                    ctx.send(Destination::Broadcast, MsgKind::Maintenance, bytes, payload);
+                }
+            }
+            TtmqoPayload::QueryShare(query) => {
+                if !self.seen_abort_floods.contains(&query.id()) {
+                    self.requested_queries.remove(&query.id());
+                    // Install without re-flooding: this is local recovery.
+                    self.install(ctx, query.clone());
+                }
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, cmd: Command) {
+        debug_assert!(ctx.is_base_station(), "commands arrive at the base station");
+        match cmd {
+            Command::Pose(query) => self.relay_query_flood(ctx, &query),
+            Command::Terminate(qid) => self.relay_abort_flood(ctx, qid),
+        }
+    }
+
+    fn on_overhear(
+        &mut self,
+        _ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        from: NodeId,
+        _kind: MsgKind,
+        payload: &TtmqoPayload,
+    ) {
+        // Exploit the broadcast nature of the channel: a neighbour's result
+        // frame reveals exactly which queries it has data for, keeping the
+        // DAG's has-data knowledge fresh at zero radio cost.
+        match payload {
+            TtmqoPayload::SharedRows { entries, .. } => {
+                let qids: Vec<QueryId> = entries
+                    .iter()
+                    .flat_map(|e| e.qids.iter().copied())
+                    .collect();
+                self.dag.record_has_data(from, qids.clone());
+                self.request_unknown_queries(_ctx, qids.iter());
+            }
+            TtmqoPayload::SharedPartials { entries, .. } => {
+                let qids: Vec<QueryId> = entries.iter().map(|e| e.qid).collect();
+                self.dag.record_has_data(from, qids.clone());
+                self.request_unknown_queries(_ctx, qids.iter());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = key(K_SLEEP_CHECK, QueryId(77), 1234);
+        assert_eq!(key_parts(k), (K_SLEEP_CHECK, QueryId(77), 1234));
+    }
+
+    #[test]
+    fn merge_into_grows_and_merges() {
+        use ttmqo_query::AggOp;
+        let mut buf = Vec::new();
+        merge_into(&mut buf, &[Some(AggOp::Max.seed(1.0)), None]);
+        merge_into(
+            &mut buf,
+            &[Some(AggOp::Max.seed(7.0)), Some(AggOp::Count.seed(0.0))],
+        );
+        assert_eq!(buf[0].unwrap().finalize(), 7.0);
+        assert_eq!(buf[1].unwrap().finalize(), 1.0);
+    }
+}

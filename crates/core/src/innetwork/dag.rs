@@ -1,0 +1,243 @@
+//! Query-aware DAG routing: dynamic parent selection (§3.2.2).
+//!
+//! During query propagation every node keeps an edge to each of its
+//! upper-level neighbours, together with piggybacked knowledge of *which
+//! queries each of those neighbours has data for*. When a node has a result
+//! message serving a set of queries, it picks parents dynamically:
+//! "Neighbors with data for more queries have higher priority to be chosen.
+//! Ties are broken by favoring those nodes with more stable link. … if
+//! multiple neighbors are chosen (each is responsible for forwarding message
+//! for a subset of queries), one multicast message is required."
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ttmqo_query::QueryId;
+use ttmqo_sim::NodeId;
+
+/// What a node knows about its upper-level neighbours.
+#[derive(Debug, Clone, Default)]
+pub struct DagState {
+    /// Upper-level neighbours (the DAG edges toward the base station).
+    upper: Vec<NodeId>,
+    /// Link quality per upper neighbour.
+    link: HashMap<NodeId, f64>,
+    /// Queries each upper neighbour is believed to have data for
+    /// (from flood piggybacks and wake-up broadcasts).
+    has_data: HashMap<NodeId, BTreeSet<QueryId>>,
+}
+
+impl DagState {
+    /// Initializes the DAG edges from the topology-derived upper neighbour
+    /// list and link qualities.
+    pub fn new(upper: Vec<(NodeId, f64)>) -> Self {
+        let link = upper.iter().copied().collect();
+        DagState {
+            upper: upper.into_iter().map(|(n, _)| n).collect(),
+            link,
+            has_data: HashMap::new(),
+        }
+    }
+
+    /// The upper-level neighbours.
+    pub fn upper_neighbors(&self) -> &[NodeId] {
+        &self.upper
+    }
+
+    /// Records (replaces) the set of queries `neighbor` has data for.
+    pub fn record_has_data<I: IntoIterator<Item = QueryId>>(&mut self, neighbor: NodeId, qids: I) {
+        if self.upper.contains(&neighbor) {
+            self.has_data.insert(neighbor, qids.into_iter().collect());
+        }
+    }
+
+    /// Forgets a query everywhere (on abort).
+    pub fn forget_query(&mut self, qid: QueryId) {
+        for set in self.has_data.values_mut() {
+            set.remove(&qid);
+        }
+    }
+
+    /// Queries `neighbor` is believed to have data for.
+    pub fn known_data(&self, neighbor: NodeId) -> Option<&BTreeSet<QueryId>> {
+        self.has_data.get(&neighbor)
+    }
+
+    /// Chooses parents for a message serving `queries`.
+    ///
+    /// Greedy set cover: repeatedly pick the upper neighbour with data for
+    /// the most still-uncovered queries (ties broken by link quality, then by
+    /// node id for determinism). Queries no neighbour has data for are
+    /// assigned to the best-link neighbour. Returns `(parent, responsible
+    /// query subset)` pairs — one pair means unicast, several mean one
+    /// multicast with split responsibility; empty only when the node has no
+    /// upper neighbours at all.
+    pub fn choose_parents(&self, queries: &BTreeSet<QueryId>) -> Vec<(NodeId, BTreeSet<QueryId>)> {
+        if self.upper.is_empty() || queries.is_empty() {
+            return Vec::new();
+        }
+        let mut assignment: BTreeMap<NodeId, BTreeSet<QueryId>> = BTreeMap::new();
+        let mut remaining: BTreeSet<QueryId> = queries.clone();
+
+        while !remaining.is_empty() {
+            let (best, overlap) = self
+                .upper
+                .iter()
+                .map(|&n| {
+                    let overlap: BTreeSet<QueryId> = self
+                        .has_data
+                        .get(&n)
+                        .map(|d| d.intersection(&remaining).copied().collect())
+                        .unwrap_or_default();
+                    (n, overlap)
+                })
+                .max_by(|(a, oa), (b, ob)| {
+                    oa.len()
+                        .cmp(&ob.len())
+                        .then_with(|| {
+                            self.link_of(*a)
+                                .partial_cmp(&self.link_of(*b))
+                                .expect("link qualities are finite")
+                        })
+                        .then_with(|| b.0.cmp(&a.0)) // lower id wins ties
+                })
+                .expect("upper list is non-empty");
+
+            if overlap.is_empty() {
+                // Nobody has data for what's left: hand it to the best link.
+                let fallback = self.best_link();
+                assignment
+                    .entry(fallback)
+                    .or_default()
+                    .extend(remaining.iter().copied());
+                remaining.clear();
+            } else {
+                for q in &overlap {
+                    remaining.remove(q);
+                }
+                assignment.entry(best).or_default().extend(overlap);
+            }
+        }
+        assignment.into_iter().collect()
+    }
+
+    fn link_of(&self, n: NodeId) -> f64 {
+        self.link.get(&n).copied().unwrap_or(0.0)
+    }
+
+    fn best_link(&self) -> NodeId {
+        self.upper
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                self.link_of(a)
+                    .partial_cmp(&self.link_of(b))
+                    .expect("link qualities are finite")
+                    .then_with(|| b.0.cmp(&a.0))
+            })
+            .expect("upper list is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs(ids: &[u64]) -> BTreeSet<QueryId> {
+        ids.iter().map(|&i| QueryId(i)).collect()
+    }
+
+    fn dag() -> DagState {
+        // Three upper neighbours with decreasing link quality.
+        DagState::new(vec![(NodeId(1), 0.9), (NodeId(2), 0.5), (NodeId(3), 0.3)])
+    }
+
+    #[test]
+    fn no_knowledge_falls_back_to_best_link_unicast() {
+        let d = dag();
+        let parents = d.choose_parents(&qs(&[10, 11]));
+        assert_eq!(parents, vec![(NodeId(1), qs(&[10, 11]))]);
+    }
+
+    #[test]
+    fn single_covering_neighbor_wins_over_better_link() {
+        let mut d = dag();
+        d.record_has_data(NodeId(3), qs(&[10, 11]));
+        let parents = d.choose_parents(&qs(&[10, 11]));
+        assert_eq!(parents, vec![(NodeId(3), qs(&[10, 11]))]);
+    }
+
+    #[test]
+    fn ties_break_by_link_quality() {
+        let mut d = dag();
+        d.record_has_data(NodeId(2), qs(&[10]));
+        d.record_has_data(NodeId(3), qs(&[10]));
+        let parents = d.choose_parents(&qs(&[10]));
+        assert_eq!(
+            parents,
+            vec![(NodeId(2), qs(&[10]))],
+            "better link wins the tie"
+        );
+    }
+
+    #[test]
+    fn split_assignment_multicasts() {
+        let mut d = dag();
+        d.record_has_data(NodeId(2), qs(&[10]));
+        d.record_has_data(NodeId(3), qs(&[11]));
+        let parents = d.choose_parents(&qs(&[10, 11]));
+        assert_eq!(parents.len(), 2);
+        let map: BTreeMap<_, _> = parents.into_iter().collect();
+        assert_eq!(map[&NodeId(2)], qs(&[10]));
+        assert_eq!(map[&NodeId(3)], qs(&[11]));
+    }
+
+    #[test]
+    fn uncovered_queries_ride_with_best_link() {
+        let mut d = dag();
+        d.record_has_data(NodeId(3), qs(&[10]));
+        let parents = d.choose_parents(&qs(&[10, 12]));
+        let map: BTreeMap<_, _> = parents.into_iter().collect();
+        assert_eq!(map[&NodeId(3)], qs(&[10]));
+        assert_eq!(map[&NodeId(1)], qs(&[12]), "orphan query goes to best link");
+    }
+
+    #[test]
+    fn greedy_prefers_wider_coverage() {
+        let mut d = dag();
+        d.record_has_data(NodeId(2), qs(&[10, 11, 12]));
+        d.record_has_data(NodeId(1), qs(&[10]));
+        let parents = d.choose_parents(&qs(&[10, 11, 12]));
+        assert_eq!(parents, vec![(NodeId(2), qs(&[10, 11, 12]))]);
+    }
+
+    #[test]
+    fn forget_query_removes_knowledge() {
+        let mut d = dag();
+        d.record_has_data(NodeId(3), qs(&[10]));
+        d.forget_query(QueryId(10));
+        let parents = d.choose_parents(&qs(&[10]));
+        assert_eq!(parents, vec![(NodeId(1), qs(&[10]))], "back to best link");
+    }
+
+    #[test]
+    fn record_ignores_non_upper_neighbors() {
+        let mut d = dag();
+        d.record_has_data(NodeId(99), qs(&[10]));
+        assert!(d.known_data(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_assignment() {
+        let d = dag();
+        assert!(d.choose_parents(&BTreeSet::new()).is_empty());
+        let empty = DagState::new(vec![]);
+        assert!(empty.choose_parents(&qs(&[1])).is_empty());
+    }
+
+    #[test]
+    fn later_record_replaces_earlier() {
+        let mut d = dag();
+        d.record_has_data(NodeId(2), qs(&[10, 11]));
+        d.record_has_data(NodeId(2), qs(&[11]));
+        assert_eq!(d.known_data(NodeId(2)).unwrap(), &qs(&[11]));
+    }
+}

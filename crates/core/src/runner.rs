@@ -1,0 +1,440 @@
+//! The experiment runner: executes one workload under one strategy and
+//! reports the paper's metrics plus every user query's answers.
+//!
+//! The four strategies of the evaluation (§4):
+//!
+//! * [`Strategy::Baseline`] — every user query injected as-is, TinyDB
+//!   processing (no multi-query optimization);
+//! * [`Strategy::BsOnly`] — tier 1 only: user queries rewritten into
+//!   synthetic queries at the base station, TinyDB processing in-network;
+//! * [`Strategy::InNetOnly`] — tier 2 only: user queries injected as-is, but
+//!   the network runs the TTMQO in-network protocol;
+//! * [`Strategy::TwoTier`] — the full TTMQO scheme: rewrite first, then the
+//!   in-network protocol executes the synthetic queries.
+
+use crate::basestation::{
+    map_epoch_answer_at, BaseStationOptimizer, CostModel, NetworkOp, OptimizerOptions,
+    OptimizerStats,
+};
+use crate::innetwork::{TtmqoApp, TtmqoConfig};
+use std::collections::BTreeMap;
+use ttmqo_query::{EpochAnswer, Query, QueryId};
+use ttmqo_sim::{
+    CorrelatedField, Metrics, NodeId, RadioParams, SensorField, SimConfig, SimTime, Simulator,
+    Topology, UniformField,
+};
+use ttmqo_stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
+use ttmqo_tinydb::{Command, Output, TinyDbApp, TinyDbConfig};
+
+/// Which optimization tiers run (§4's four configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strategy {
+    /// No multi-query optimization (the paper's baseline).
+    Baseline,
+    /// Base-station optimization only.
+    BsOnly,
+    /// In-network optimization only.
+    InNetOnly,
+    /// The full two-tier TTMQO scheme.
+    TwoTier,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper's figures list them.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Baseline,
+        Strategy::BsOnly,
+        Strategy::InNetOnly,
+        Strategy::TwoTier,
+    ];
+
+    /// Whether the base-station rewriting tier is active.
+    pub fn uses_basestation_tier(self) -> bool {
+        matches!(self, Strategy::BsOnly | Strategy::TwoTier)
+    }
+
+    /// Whether the in-network tier is active.
+    pub fn uses_innetwork_tier(self) -> bool {
+        matches!(self, Strategy::InNetOnly | Strategy::TwoTier)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::Baseline => "baseline",
+            Strategy::BsOnly => "bs-only",
+            Strategy::InNetOnly => "in-net-only",
+            Strategy::TwoTier => "two-tier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One user-level workload action.
+#[derive(Debug, Clone)]
+pub enum WorkloadAction {
+    /// A user poses a query.
+    Pose(Query),
+    /// A user terminates a query.
+    Terminate(QueryId),
+}
+
+/// A timestamped workload action.
+#[derive(Debug, Clone)]
+pub struct WorkloadEvent {
+    /// When the action happens.
+    pub at: SimTime,
+    /// The action.
+    pub action: WorkloadAction,
+}
+
+impl WorkloadEvent {
+    /// A query posed at `at_ms`.
+    pub fn pose(at_ms: u64, query: Query) -> Self {
+        WorkloadEvent {
+            at: SimTime::from_ms(at_ms),
+            action: WorkloadAction::Pose(query),
+        }
+    }
+
+    /// A query terminated at `at_ms`.
+    pub fn terminate(at_ms: u64, qid: QueryId) -> Self {
+        WorkloadEvent {
+            at: SimTime::from_ms(at_ms),
+            action: WorkloadAction::Terminate(qid),
+        }
+    }
+}
+
+/// Sensor field used by an experiment.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldKind {
+    /// Deterministic hash-uniform readings (the estimator's assumption).
+    Uniform,
+    /// Spatially/temporally correlated readings.
+    Correlated,
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The strategy under test.
+    pub strategy: Strategy,
+    /// Grid side length (the paper uses 4 and 8 ⇒ 16 and 64 nodes).
+    pub grid_n: usize,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Radio model.
+    pub radio: RadioParams,
+    /// Engine configuration (seed, maintenance traffic).
+    pub sim: SimConfig,
+    /// Termination parameter α of Algorithm 2.
+    pub alpha: f64,
+    /// Sensor field kind.
+    pub field: FieldKind,
+    /// Seed for the sensor field.
+    pub field_seed: u64,
+    /// Explicit topology overriding `grid_n` (random deployments, custom
+    /// layouts). `None` uses the paper's n×n grid.
+    pub topology_override: Option<Topology>,
+    /// Tier-1 algorithm knobs beyond α (ablations).
+    pub optimizer: OptimizerOptions,
+    /// Tier-2 configuration (slotting, sleep, dynamic parents).
+    pub innetwork: TtmqoConfig,
+    /// Whether the base station feeds observed readings back into the cost
+    /// model's selectivity estimator (§3.1.2's maintained statistics).
+    pub adaptive_statistics: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(120 * 2048),
+            radio: RadioParams::default(),
+            sim: SimConfig::default(),
+            alpha: 0.6,
+            field: FieldKind::Uniform,
+            field_seed: 0xF1E1D,
+            topology_override: None,
+            adaptive_statistics: false,
+            optimizer: OptimizerOptions::default(),
+            innetwork: TtmqoConfig::default(),
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Radio/sensing metrics of the whole run.
+    pub metrics: Metrics,
+    /// Per *user* query: `(epoch start ms, answer)` in epoch order.
+    pub answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>>,
+    /// Time-weighted mean number of running synthetic queries
+    /// (= user queries for strategies without the first tier).
+    pub avg_synthetic_count: f64,
+    /// Time-weighted mean of the optimizer's benefit ratio (0 for
+    /// strategies without the first tier).
+    pub avg_benefit_ratio: f64,
+    /// Optimizer counters (None without the first tier).
+    pub optimizer_stats: Option<OptimizerStats>,
+}
+
+impl RunReport {
+    /// The paper's headline metric for this run.
+    pub fn avg_transmission_time_pct(&self) -> f64 {
+        self.metrics.avg_transmission_time_pct()
+    }
+}
+
+fn build_field(config: &ExperimentConfig, topo: &Topology) -> Box<dyn SensorField + Send + Sync> {
+    match config.field {
+        FieldKind::Uniform => Box::new(UniformField::new(config.field_seed)),
+        FieldKind::Correlated => {
+            Box::new(CorrelatedField::for_topology(config.field_seed, topo).bind(topo))
+        }
+    }
+}
+
+fn build_optimizer(config: &ExperimentConfig, topo: &Topology) -> BaseStationOptimizer {
+    let levels = LevelStats::from_levels(topo.levels().iter().copied());
+    // Value attributes use the uniform model (the paper's configuration);
+    // `nodeid` gets an empirical model over the *actually deployed* ids —
+    // a uniform model over the full id domain would wildly overestimate the
+    // selectivity of nodeid predicates on a small deployment.
+    let mut estimator = SelectivityEstimator::uniform();
+    estimator.set_model(
+        ttmqo_query::Attribute::NodeId,
+        Box::new(EmpiricalDistribution::from_samples(
+            ttmqo_query::Attribute::NodeId,
+            topo.node_count(),
+            (1..topo.node_count()).map(|i| i as f64),
+        )),
+    );
+    let positions: Vec<(f64, f64)> = topo
+        .nodes()
+        .filter(|n| *n != NodeId::BASE_STATION)
+        .map(|n| {
+            let p = topo.position(n);
+            (p.x, p.y)
+        })
+        .collect();
+    let model = CostModel::new(
+        config.radio.startup_ms,
+        config.radio.per_byte_ms,
+        levels,
+        estimator,
+    )
+    .with_positions(positions);
+    BaseStationOptimizer::with_options(
+        model,
+        OptimizerOptions {
+            alpha: config.alpha,
+            ..config.optimizer
+        },
+    )
+}
+
+/// Runs one experiment: the workload under the configured strategy.
+///
+/// # Panics
+///
+/// Panics if the grid cannot be constructed (e.g. `grid_n == 0`).
+pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> RunReport {
+    let topo = config
+        .topology_override
+        .clone()
+        .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
+    let mut events: Vec<WorkloadEvent> = workload.to_vec();
+    events.sort_by_key(|e| e.at);
+
+    if config.strategy.uses_innetwork_tier() {
+        let field = build_field(config, &topo);
+        let innetwork = config.innetwork.clone();
+        let sim = Simulator::new(
+            topo.clone(),
+            config.radio.clone(),
+            config.sim.clone(),
+            field,
+            move |_, _| TtmqoApp::new(innetwork.clone()),
+        );
+        drive(config, &topo, events, sim)
+    } else {
+        let field = build_field(config, &topo);
+        let sim = Simulator::new(
+            topo.clone(),
+            config.radio.clone(),
+            config.sim.clone(),
+            field,
+            |_, _| TinyDbApp::new(TinyDbConfig::default()),
+        );
+        drive(config, &topo, events, sim)
+    }
+}
+
+/// Snapshot of user → (synthetic id, synthetic query, user query) taken after
+/// each workload event, used to map synthetic answers back to users.
+type MappingSnapshot = BTreeMap<QueryId, (QueryId, Query, Query)>;
+
+fn drive<A>(
+    config: &ExperimentConfig,
+    topo: &Topology,
+    events: Vec<WorkloadEvent>,
+    mut sim: Simulator<A>,
+) -> RunReport
+where
+    A: ttmqo_sim::NodeApp<Command = Command, Output = Output>,
+{
+    let rewriting = config.strategy.uses_basestation_tier();
+    let mut optimizer = rewriting.then(|| build_optimizer(config, topo));
+
+    // Identity bookkeeping for non-rewriting strategies.
+    let mut live_users: BTreeMap<QueryId, Query> = BTreeMap::new();
+
+    let mut snapshots: Vec<(u64, MappingSnapshot)> = Vec::new();
+    let mut weighted_syn = 0.0;
+    let mut weighted_ratio = 0.0;
+    let mut last_t = 0u64;
+    let mut current_syn_count = 0usize;
+    let mut current_ratio = 0.0;
+
+    let take_snapshot = |t: u64,
+                         optimizer: &Option<BaseStationOptimizer>,
+                         live: &BTreeMap<QueryId, Query>,
+                         snapshots: &mut Vec<(u64, MappingSnapshot)>| {
+        let mut snap = MappingSnapshot::new();
+        if let Some(opt) = optimizer {
+            for (uid, uq) in live {
+                if let Some(syn_id) = opt.mapping(*uid) {
+                    if let Some(sq) = opt.synthetic(syn_id) {
+                        snap.insert(*uid, (syn_id, sq.query().clone(), uq.clone()));
+                    }
+                }
+            }
+        } else {
+            for (uid, uq) in live {
+                snap.insert(*uid, (*uid, uq.clone(), uq.clone()));
+            }
+        }
+        snapshots.push((t, snap));
+    };
+
+    let mut collected: Vec<ttmqo_sim::OutputRecord<Output>> = Vec::new();
+    for event in events {
+        let t = event.at;
+        // Advance the network to the event time.
+        sim.run_until(t);
+        // §3.1.2 statistics maintenance: learn the data distribution from
+        // the result rows the base station has already received, so the
+        // decision for *this* event uses it.
+        let fresh = sim.take_outputs();
+        if config.adaptive_statistics {
+            if let Some(opt) = optimizer.as_mut() {
+                for record in &fresh {
+                    let Output::Answer { answer, .. } = &record.output;
+                    if let EpochAnswer::Rows(rows) = answer {
+                        for row in rows {
+                            for (attr, value) in row.readings.iter() {
+                                opt.observe_reading(attr, value);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        collected.extend(fresh);
+        // Accumulate time-weighted stats over [last_t, t).
+        let dt = (t.as_ms() - last_t) as f64;
+        weighted_syn += current_syn_count as f64 * dt;
+        weighted_ratio += current_ratio * dt;
+        last_t = t.as_ms();
+
+        let ops: Vec<NetworkOp> = match (&mut optimizer, event.action) {
+            (Some(opt), WorkloadAction::Pose(q)) => {
+                live_users.insert(q.id(), q.clone());
+                opt.insert(q)
+                    .expect("workload ids are unique and unreserved")
+            }
+            (Some(opt), WorkloadAction::Terminate(qid)) => {
+                live_users.remove(&qid);
+                opt.terminate(qid)
+            }
+            (None, WorkloadAction::Pose(q)) => {
+                live_users.insert(q.id(), q.clone());
+                vec![NetworkOp::Inject(q)]
+            }
+            (None, WorkloadAction::Terminate(qid)) => {
+                live_users.remove(&qid);
+                vec![NetworkOp::Abort(qid)]
+            }
+        };
+        for op in ops {
+            let cmd = match op {
+                NetworkOp::Inject(q) => Command::Pose(q),
+                NetworkOp::Abort(id) => Command::Terminate(id),
+            };
+            sim.schedule_command(t, NodeId::BASE_STATION, cmd);
+        }
+        current_syn_count = match &optimizer {
+            Some(opt) => opt.synthetic_count(),
+            None => live_users.len(),
+        };
+        current_ratio = optimizer.as_ref().map_or(0.0, |o| o.benefit_ratio());
+        take_snapshot(t.as_ms(), &optimizer, &live_users, &mut snapshots);
+    }
+
+    sim.run_until(config.duration);
+    let dt = (config.duration.as_ms() - last_t) as f64;
+    weighted_syn += current_syn_count as f64 * dt;
+    weighted_ratio += current_ratio * dt;
+
+    // Map network answers (per injected query) back to user answers.
+    collected.extend(sim.take_outputs());
+    let mut answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>> = BTreeMap::new();
+    for record in collected {
+        let Output::Answer {
+            qid,
+            epoch_ms,
+            answer,
+        } = record.output;
+        // Mapping in force at the answered epoch's start.
+        let Some((_, snap)) = snapshots.iter().rev().find(|(t, _)| *t <= epoch_ms) else {
+            continue;
+        };
+        for (uid, (syn_id, syn_q, user_q)) in snap {
+            if *syn_id != qid {
+                continue;
+            }
+            let position_of = |node: u16| {
+                let id = NodeId(node);
+                (id.index() < topo.node_count()).then(|| {
+                    let p = topo.position(id);
+                    (p.x, p.y)
+                })
+            };
+            if let Some(mapped) =
+                map_epoch_answer_at(user_q, syn_q, epoch_ms, &answer, &position_of)
+            {
+                answers.entry(*uid).or_default().push((epoch_ms, mapped));
+            }
+        }
+    }
+    for per_query in answers.values_mut() {
+        per_query.sort_by_key(|(e, _)| *e);
+    }
+
+    let total = config.duration.as_ms().max(1) as f64;
+    RunReport {
+        strategy: config.strategy,
+        metrics: sim.metrics().clone(),
+        answers,
+        avg_synthetic_count: weighted_syn / total,
+        avg_benefit_ratio: weighted_ratio / total,
+        optimizer_stats: optimizer.map(|o| o.stats()),
+    }
+}

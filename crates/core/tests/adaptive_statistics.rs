@@ -1,0 +1,124 @@
+//! §3.1.2 statistics maintenance: the base station learns the data
+//! distribution from the result stream and later rewriting decisions use it.
+
+use ttmqo_core::{
+    run_experiment, BaseStationOptimizer, CostModel, ExperimentConfig, Strategy, WorkloadEvent,
+};
+use ttmqo_query::{parse_query, Attribute, Query, QueryId};
+use ttmqo_sim::{RadioParams, SimConfig, SimTime, Topology};
+use ttmqo_stats::{LevelStats, SelectivityEstimator};
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap()
+}
+
+#[test]
+fn observed_readings_change_the_cost_estimate() {
+    let topo = Topology::grid(4).unwrap();
+    let model = CostModel::new(
+        4.0,
+        0.2,
+        LevelStats::from_levels(topo.levels().iter().copied()),
+        SelectivityEstimator::uniform().with_warmup(16),
+    );
+    let mut opt = BaseStationOptimizer::new(model, 0.6);
+    let probe = q(
+        99,
+        "select light where 800<=light<=1000 epoch duration 2048",
+    );
+
+    let before = opt.cost_model().cost(&probe);
+    // The field turns out to be heavily skewed toward high light values.
+    for _ in 0..32 {
+        opt.observe_reading(Attribute::Light, 900.0);
+    }
+    let after = opt.cost_model().cost(&probe);
+    assert!(
+        after > before * 4.0,
+        "learned skew must raise the high-range cost estimate: {before} -> {after}"
+    );
+}
+
+#[test]
+fn adaptive_statistics_affect_merge_decisions() {
+    // Two queries over the top light decile. Under the uniform assumption
+    // each looks cheap (sel 0.1) and a merged carrier looks cheap too; if
+    // the field actually concentrates there, a good estimator learns the
+    // carrier costs full rate.
+    let topo = Topology::grid(4).unwrap();
+    let build = |warmup: u64| {
+        let model = CostModel::new(
+            4.0,
+            0.2,
+            LevelStats::from_levels(topo.levels().iter().copied()),
+            SelectivityEstimator::uniform().with_warmup(warmup),
+        );
+        BaseStationOptimizer::new(model, 0.6)
+    };
+
+    // Learned estimator: all mass at light ≈ 900.
+    let mut learned = build(8);
+    for _ in 0..32 {
+        learned.observe_reading(Attribute::Light, 900.0);
+    }
+    let q_low = q(1, "select light where 0<=light<=99 epoch duration 2048");
+    let q_high = q(2, "select light where 800<=light<=1000 epoch duration 2048");
+    // Under the learned skew the low-range query matches nothing: its cost
+    // is ~0, so its benefit rate against anything is ~0 and it stays apart.
+    learned.insert(q_high.clone()).unwrap();
+    learned.insert(q_low.clone()).unwrap();
+    assert_eq!(learned.synthetic_count(), 2, "learned: no beneficial merge");
+
+    // Naive estimator with the same inserts may or may not merge, but its
+    // *cost estimate* for the high query is 5× too low.
+    let naive = build(u64::MAX);
+    let learned_cost = learned.cost_model().cost(&q_high);
+    let naive_cost = naive.cost_model().cost(&q_high);
+    assert!(learned_cost > naive_cost * 3.0);
+}
+
+#[test]
+fn end_to_end_adaptive_run_still_answers_exactly() {
+    // Turning the feedback loop on must never change user-visible answers.
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(1, "select light where 300<=light<=900 epoch duration 2048"),
+        ),
+        WorkloadEvent::pose(
+            4 * 2048,
+            q(2, "select light where 400<=light<=800 epoch duration 4096"),
+        ),
+    ];
+    let run = |adaptive: bool| {
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 3,
+            duration: SimTime::from_ms(20 * 2048),
+            radio: RadioParams::lossless(),
+            sim: SimConfig {
+                maintenance_interval_ms: None,
+                ..SimConfig::default()
+            },
+            adaptive_statistics: adaptive,
+            ..ExperimentConfig::default()
+        };
+        run_experiment(&config, &workload)
+    };
+    let plain = run(false);
+    let adaptive = run(true);
+    for qid in [QueryId(1), QueryId(2)] {
+        let window = |r: &ttmqo_core::RunReport| {
+            r.answers[&qid]
+                .iter()
+                .filter(|(e, _)| (6 * 2048..18 * 2048).contains(e))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            window(&plain),
+            window(&adaptive),
+            "{qid} answers must match"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the query-aware DAG parent selection.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use ttmqo_core::DagState;
+use ttmqo_query::QueryId;
+use ttmqo_sim::NodeId;
+
+prop_compose! {
+    fn arb_dag()(
+        n_upper in 1usize..6,
+        links in prop::collection::vec(0.01f64..1.0, 6),
+        knowledge in prop::collection::vec(
+            prop::collection::btree_set(0u64..8, 0..5), 6),
+    ) -> DagState {
+        let upper: Vec<(NodeId, f64)> = (0..n_upper)
+            .map(|i| (NodeId(i as u16 + 1), links[i]))
+            .collect();
+        let mut dag = DagState::new(upper);
+        for (i, qids) in knowledge.iter().take(n_upper).enumerate() {
+            dag.record_has_data(
+                NodeId(i as u16 + 1),
+                qids.iter().map(|&q| QueryId(q)),
+            );
+        }
+        dag
+    }
+}
+
+fn arb_queries() -> impl Strategy<Value = BTreeSet<QueryId>> {
+    prop::collection::btree_set((0u64..8).prop_map(QueryId), 1..6)
+}
+
+proptest! {
+    /// Every query is assigned to exactly one parent — the partition covers
+    /// the whole set with no overlap.
+    #[test]
+    fn assignment_partitions_the_query_set(dag in arb_dag(), queries in arb_queries()) {
+        let parents = dag.choose_parents(&queries);
+        prop_assert!(!parents.is_empty(), "non-empty upper set always routes");
+        let mut seen: BTreeSet<QueryId> = BTreeSet::new();
+        for (_, qs) in &parents {
+            for q in qs {
+                prop_assert!(seen.insert(*q), "query {q} assigned twice");
+            }
+        }
+        prop_assert_eq!(seen, queries);
+    }
+
+    /// Chosen parents are always actual upper-level neighbours.
+    #[test]
+    fn parents_come_from_the_upper_set(dag in arb_dag(), queries in arb_queries()) {
+        let upper: BTreeSet<NodeId> = dag.upper_neighbors().iter().copied().collect();
+        for (parent, _) in dag.choose_parents(&queries) {
+            prop_assert!(upper.contains(&parent));
+        }
+    }
+
+    /// Selection is deterministic: same state, same choice.
+    #[test]
+    fn selection_is_deterministic(dag in arb_dag(), queries in arb_queries()) {
+        prop_assert_eq!(dag.choose_parents(&queries), dag.choose_parents(&queries));
+    }
+
+    /// A parent known to hold data for every query wins outright (unicast).
+    #[test]
+    fn full_knowledge_yields_unicast(queries in arb_queries(), links in prop::collection::vec(0.01f64..1.0, 3)) {
+        let mut dag = DagState::new(vec![
+            (NodeId(1), links[0]),
+            (NodeId(2), links[1]),
+            (NodeId(3), links[2]),
+        ]);
+        dag.record_has_data(NodeId(2), queries.iter().copied());
+        let parents = dag.choose_parents(&queries);
+        prop_assert_eq!(parents.len(), 1);
+        prop_assert_eq!(parents[0].0, NodeId(2));
+    }
+}

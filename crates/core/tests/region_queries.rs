@@ -1,0 +1,254 @@
+//! End-to-end region-based queries (§3.2.2's "region-based query" case):
+//! spatial restriction, correct answers across strategies, rewriting with
+//! region-union carriers, and spatial SRT pruning.
+
+use ttmqo_core::{
+    run_experiment, ExperimentConfig, Strategy, TtmqoApp, TtmqoConfig, WorkloadEvent,
+};
+use ttmqo_query::{parse_query, EpochAnswer, Query, QueryId};
+use ttmqo_sim::{
+    MsgKind, NodeId, RadioParams, SimConfig, SimTime, Simulator, Topology, UniformField,
+};
+use ttmqo_tinydb::Command;
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap()
+}
+
+fn config(strategy: Strategy, epochs: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy,
+        grid_n: 4,
+        duration: SimTime::from_ms(epochs * 2048),
+        radio: RadioParams::lossless(),
+        sim: SimConfig {
+            maintenance_interval_ms: None,
+            ..SimConfig::default()
+        },
+        ..ExperimentConfig::default()
+    }
+}
+
+/// On the 4×4 grid (20 ft spacing), region(0,0,30,30) holds exactly nodes
+/// 1, 4 and 5 (node 0 is the base station and never senses).
+const NW_REGION: &str = "region(0, 0, 30, 30)";
+
+#[test]
+fn region_restricts_the_answer_set() {
+    let workload = vec![WorkloadEvent::pose(
+        0,
+        q(
+            1,
+            &format!("select nodeid, light where {NW_REGION} epoch duration 2048"),
+        ),
+    )];
+    let report = run_experiment(&config(Strategy::Baseline, 12), &workload);
+    let answers = &report.answers[&QueryId(1)];
+    assert!(answers.len() >= 8);
+    for (epoch, answer) in answers.iter().filter(|(e, _)| *e >= 2 * 2048) {
+        let EpochAnswer::Rows(rows) = answer else {
+            panic!("expected rows")
+        };
+        let ids: Vec<u16> = rows.iter().map(|r| r.node).collect();
+        assert_eq!(ids, vec![1, 4, 5], "epoch {epoch}: exactly the NW corner");
+    }
+}
+
+#[test]
+fn region_answers_agree_across_all_strategies() {
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(
+                1,
+                &format!("select light where {NW_REGION} epoch duration 2048"),
+            ),
+        ),
+        WorkloadEvent::pose(
+            0,
+            q(
+                2,
+                &format!("select max(light) where {NW_REGION} epoch duration 4096"),
+            ),
+        ),
+    ];
+    let window = |answers: &[(u64, EpochAnswer)]| {
+        answers
+            .iter()
+            .filter(|(e, _)| (3 * 2048..14 * 2048).contains(e))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    let mut reference: Option<(Vec<_>, Vec<_>)> = None;
+    for strategy in Strategy::ALL {
+        let report = run_experiment(&config(strategy, 16), &workload);
+        let a1 = window(&report.answers[&QueryId(1)]);
+        let a2 = window(&report.answers[&QueryId(2)]);
+        assert!(!a1.is_empty(), "{strategy}");
+        match &reference {
+            None => reference = Some((a1, a2)),
+            Some((r1, r2)) => {
+                assert_eq!(&a1, r1, "{strategy}: acquisition answers differ");
+                assert_eq!(&a2, r2, "{strategy}: aggregation answers differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn nested_region_query_is_absorbed_and_refiltered() {
+    // q2's region contains q1's and fires more often: q1 is covered and
+    // absorbed; the base station re-filters q2's wider stream down to q1's
+    // rectangle using the nodes' known positions.
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(
+                1,
+                "select light where region(0, 0, 30, 30) epoch duration 4096",
+            ),
+        ),
+        WorkloadEvent::pose(
+            0,
+            q(
+                2,
+                "select light where region(0, 0, 50, 50) epoch duration 2048",
+            ),
+        ),
+    ];
+    let report = run_experiment(&config(Strategy::TwoTier, 16), &workload);
+    assert!(
+        (report.avg_synthetic_count - 1.0).abs() < 0.2,
+        "expected the nested query to be absorbed, got {}",
+        report.avg_synthetic_count
+    );
+    // q1 gets only the NW-corner nodes despite the wider carrier.
+    for (epoch, answer) in report.answers[&QueryId(1)]
+        .iter()
+        .filter(|(e, _)| *e >= 3 * 2048)
+    {
+        let EpochAnswer::Rows(rows) = answer else {
+            panic!()
+        };
+        let ids: Vec<u16> = rows.iter().map(|r| r.node).collect();
+        assert_eq!(ids, vec![1, 4, 5], "epoch {epoch}");
+    }
+    // q2's region (0..50)² holds the eight nodes at 0/20/40 ft coordinates
+    // other than the base station.
+    for (epoch, answer) in report.answers[&QueryId(2)]
+        .iter()
+        .filter(|(e, _)| *e >= 3 * 2048)
+    {
+        let EpochAnswer::Rows(rows) = answer else {
+            panic!()
+        };
+        let ids: Vec<u16> = rows.iter().map(|r| r.node).collect();
+        assert_eq!(ids, vec![1, 2, 4, 5, 6, 8, 9, 10], "epoch {epoch}");
+    }
+
+    // The merge-averse case: overlapping but non-nested regions whose union
+    // bbox would more than double the qualifying nodes stay separate — the
+    // cost model at work.
+    let workload2 = vec![
+        WorkloadEvent::pose(
+            0,
+            q(
+                1,
+                "select light where region(0, 0, 30, 30) epoch duration 2048",
+            ),
+        ),
+        WorkloadEvent::pose(
+            0,
+            q(
+                2,
+                "select light where region(10, 10, 50, 50) epoch duration 4096",
+            ),
+        ),
+    ];
+    let report2 = run_experiment(&config(Strategy::TwoTier, 12), &workload2);
+    assert!(
+        report2.avg_synthetic_count > 1.8,
+        "bbox-inflating merge must be rejected: {}",
+        report2.avg_synthetic_count
+    );
+}
+
+#[test]
+fn disjoint_region_aggregations_stay_separate() {
+    // Aggregations over different regions must not merge (§3.1.2's identical
+    // row-set requirement extends to the spatial clause).
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(
+                1,
+                "select max(light) where region(0, 0, 30, 30) epoch duration 2048",
+            ),
+        ),
+        WorkloadEvent::pose(
+            0,
+            q(
+                2,
+                "select max(light) where region(40, 40, 70, 70) epoch duration 2048",
+            ),
+        ),
+    ];
+    let report = run_experiment(&config(Strategy::TwoTier, 12), &workload);
+    assert!(
+        report.avg_synthetic_count > 1.8,
+        "different-region MAX queries must stay apart: {}",
+        report.avg_synthetic_count
+    );
+}
+
+#[test]
+fn spatial_srt_prunes_dissemination() {
+    let topo = Topology::grid(4).unwrap();
+    let run = |srt: bool| {
+        let mut sim = Simulator::new(
+            topo.clone(),
+            RadioParams::lossless(),
+            SimConfig {
+                maintenance_interval_ms: None,
+                ..SimConfig::default()
+            },
+            Box::new(UniformField::new(3)),
+            move |_, _| {
+                TtmqoApp::new(TtmqoConfig {
+                    srt,
+                    ..TtmqoConfig::default()
+                })
+            },
+        );
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::BASE_STATION,
+            Command::Pose(q(
+                1,
+                &format!("select light where {NW_REGION} epoch duration 2048"),
+            )),
+        );
+        sim.run_until(SimTime::from_ms(8 * 2048));
+        let answers: Vec<_> = sim
+            .outputs()
+            .iter()
+            .filter_map(|o| match &o.output {
+                ttmqo_tinydb::Output::Answer {
+                    epoch_ms, answer, ..
+                } if *epoch_ms >= 4096 => Some((*epoch_ms, answer.clone())),
+                _ => None,
+            })
+            .collect();
+        (sim.metrics().tx_count(MsgKind::QueryPropagation), answers)
+    };
+    let (flood, flood_answers) = run(false);
+    let (pruned, pruned_answers) = run(true);
+    assert!(
+        pruned < flood,
+        "spatial SRT must prune: {pruned} !< {flood}"
+    );
+    assert_eq!(
+        flood_answers, pruned_answers,
+        "pruning must not change answers"
+    );
+}

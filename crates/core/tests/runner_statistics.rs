@@ -1,0 +1,108 @@
+//! Unit-level checks of the experiment runner's time-weighted statistics and
+//! mapping snapshots.
+
+use ttmqo_core::{run_experiment, ExperimentConfig, FieldKind, Strategy, WorkloadEvent};
+use ttmqo_query::{parse_query, Query, QueryId};
+use ttmqo_sim::{RadioParams, SimConfig, SimTime};
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap()
+}
+
+fn config(strategy: Strategy, epochs: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy,
+        grid_n: 3,
+        duration: SimTime::from_ms(epochs * 2048),
+        radio: RadioParams::lossless(),
+        sim: SimConfig {
+            maintenance_interval_ms: None,
+            ..SimConfig::default()
+        },
+        field: FieldKind::Uniform,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn avg_synthetic_count_is_time_weighted() {
+    // One query for the first half of the run, two for the second:
+    // the time-weighted synthetic count must land near 1.5.
+    let total_epochs = 40u64;
+    let workload = vec![
+        WorkloadEvent::pose(0, q(1, "select light epoch duration 2048")),
+        WorkloadEvent::pose(
+            (total_epochs / 2) * 2048,
+            q(2, "select max(temp) where 0<=temp<=100 epoch duration 2048"),
+        ),
+    ];
+    let report = run_experiment(&config(Strategy::TwoTier, total_epochs), &workload);
+    assert!(
+        (report.avg_synthetic_count - 1.5).abs() < 0.15,
+        "expected ≈1.5, got {}",
+        report.avg_synthetic_count
+    );
+}
+
+#[test]
+fn benefit_ratio_reflects_absorbed_queries() {
+    // Three identical queries served by one synthetic: instantaneous ratio
+    // 2/3 from the moment all three run.
+    let workload: Vec<WorkloadEvent> = (0..3)
+        .map(|i| WorkloadEvent::pose(0, q(i, "select light epoch duration 2048")))
+        .collect();
+    let report = run_experiment(&config(Strategy::TwoTier, 20), &workload);
+    assert!(
+        (report.avg_benefit_ratio - 2.0 / 3.0).abs() < 0.05,
+        "expected ≈0.667, got {}",
+        report.avg_benefit_ratio
+    );
+}
+
+#[test]
+fn strategies_without_tier1_report_user_count_as_synthetics() {
+    let workload: Vec<WorkloadEvent> = (0..4)
+        .map(|i| WorkloadEvent::pose(0, q(i, "select light epoch duration 2048")))
+        .collect();
+    let report = run_experiment(&config(Strategy::Baseline, 16), &workload);
+    assert!((report.avg_synthetic_count - 4.0).abs() < 0.1);
+    assert_eq!(report.avg_benefit_ratio, 0.0);
+    assert!(report.optimizer_stats.is_none());
+}
+
+#[test]
+fn answers_respect_membership_at_epoch_time() {
+    // q2 joins mid-run and is absorbed into q1's synthetic; q2 must get no
+    // answers for epochs before it was posed.
+    let join_ms = 8 * 2048;
+    let workload = vec![
+        WorkloadEvent::pose(0, q(1, "select light, temp epoch duration 2048")),
+        WorkloadEvent::pose(join_ms, q(2, "select light epoch duration 2048")),
+    ];
+    let report = run_experiment(&config(Strategy::TwoTier, 20), &workload);
+    let a2 = &report.answers[&QueryId(2)];
+    assert!(!a2.is_empty());
+    assert!(
+        a2.iter().all(|(e, _)| *e >= join_ms),
+        "q2 answered before it existed: first epoch {}",
+        a2[0].0
+    );
+    // And q1 kept receiving answers across the join.
+    let a1 = &report.answers[&QueryId(1)];
+    let before = a1.iter().filter(|(e, _)| *e < join_ms).count();
+    let after = a1.iter().filter(|(e, _)| *e >= join_ms).count();
+    assert!(before >= 5 && after >= 8, "before {before}, after {after}");
+}
+
+#[test]
+fn duration_bounds_all_reported_epochs() {
+    let workload = vec![WorkloadEvent::pose(
+        0,
+        q(1, "select light epoch duration 2048"),
+    )];
+    let report = run_experiment(&config(Strategy::TwoTier, 10), &workload);
+    for (epoch, _) in &report.answers[&QueryId(1)] {
+        assert!(*epoch < 10 * 2048);
+    }
+    assert_eq!(report.metrics.horizon().as_ms(), 10 * 2048);
+}

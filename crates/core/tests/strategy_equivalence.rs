@@ -1,0 +1,255 @@
+//! Cross-strategy integration tests: every strategy must deliver the same
+//! user-visible answers, and the optimized strategies must not cost more
+//! than the baseline on share-friendly workloads.
+
+use ttmqo_core::{run_experiment, ExperimentConfig, FieldKind, Strategy, WorkloadEvent};
+use ttmqo_query::{parse_query, EpochAnswer, Query, QueryId};
+use ttmqo_sim::{RadioParams, SimConfig, SimTime};
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap()
+}
+
+fn config(strategy: Strategy, grid_n: usize, epochs: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy,
+        grid_n,
+        duration: SimTime::from_ms(epochs * 2048),
+        radio: RadioParams::lossless(),
+        sim: SimConfig {
+            maintenance_interval_ms: Some(30_000),
+            ..SimConfig::default()
+        },
+        field: FieldKind::Uniform,
+        field_seed: 99,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Steady-state epochs common to all strategies for comparison (skipping the
+/// first epochs where flood timing may differ, and the last where collection
+/// may be cut off).
+fn steady(answers: &[(u64, EpochAnswer)], from_ms: u64, to_ms: u64) -> Vec<(u64, EpochAnswer)> {
+    answers
+        .iter()
+        .filter(|(e, _)| *e >= from_ms && *e < to_ms)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn all_strategies_agree_on_acquisition_answers() {
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(1, "select light where 300<=light<=900 epoch duration 2048"),
+        ),
+        WorkloadEvent::pose(
+            0,
+            q(
+                2,
+                "select light, temp where 400<=light<=800 epoch duration 4096",
+            ),
+        ),
+    ];
+    let from = 3 * 2048;
+    let to = 16 * 2048;
+    let mut per_strategy = Vec::new();
+    for strategy in Strategy::ALL {
+        let report = run_experiment(&config(strategy, 3, 20), &workload);
+        let a1 = steady(
+            report.answers.get(&QueryId(1)).expect("q1 answered"),
+            from,
+            to,
+        );
+        let a2 = steady(
+            report.answers.get(&QueryId(2)).expect("q2 answered"),
+            from,
+            to,
+        );
+        assert!(
+            !a1.is_empty(),
+            "{strategy}: q1 produced no steady-state answers"
+        );
+        assert!(
+            !a2.is_empty(),
+            "{strategy}: q2 produced no steady-state answers"
+        );
+        per_strategy.push((strategy, a1, a2));
+    }
+    let (_, ref base1, ref base2) = per_strategy[0];
+    for (strategy, a1, a2) in &per_strategy[1..] {
+        assert_eq!(a1, base1, "q1 answers differ under {strategy}");
+        assert_eq!(a2, base2, "q2 answers differ under {strategy}");
+    }
+}
+
+#[test]
+fn all_strategies_agree_on_aggregation_answers() {
+    let workload = vec![
+        WorkloadEvent::pose(0, q(1, "select max(light) epoch duration 2048")),
+        WorkloadEvent::pose(0, q(2, "select min(light) epoch duration 4096")),
+    ];
+    let from = 3 * 2048;
+    let to = 16 * 2048;
+    let mut per_strategy = Vec::new();
+    for strategy in Strategy::ALL {
+        let report = run_experiment(&config(strategy, 3, 20), &workload);
+        let a1 = steady(
+            report.answers.get(&QueryId(1)).expect("q1 answered"),
+            from,
+            to,
+        );
+        let a2 = steady(
+            report.answers.get(&QueryId(2)).expect("q2 answered"),
+            from,
+            to,
+        );
+        assert!(!a1.is_empty(), "{strategy}: no steady answers");
+        per_strategy.push((strategy, a1, a2));
+    }
+    let (_, ref base1, ref base2) = per_strategy[0];
+    for (strategy, a1, a2) in &per_strategy[1..] {
+        assert_eq!(a1, base1, "max answers differ under {strategy}");
+        assert_eq!(a2, base2, "min answers differ under {strategy}");
+    }
+}
+
+#[test]
+fn aggregation_folded_into_acquisition_matches_baseline() {
+    // q2 (MAX) is answerable from q1's acquisition stream: the two-tier
+    // scheme folds it, the baseline runs it separately — answers must agree.
+    let workload = vec![
+        WorkloadEvent::pose(0, q(1, "select light, temp epoch duration 2048")),
+        WorkloadEvent::pose(0, q(2, "select max(light) epoch duration 4096")),
+    ];
+    let from = 3 * 2048;
+    let to = 16 * 2048;
+    let baseline = run_experiment(&config(Strategy::Baseline, 3, 20), &workload);
+    let twotier = run_experiment(&config(Strategy::TwoTier, 3, 20), &workload);
+    let b = steady(&baseline.answers[&QueryId(2)], from, to);
+    let t = steady(&twotier.answers[&QueryId(2)], from, to);
+    assert!(!b.is_empty());
+    assert_eq!(b, t, "folded aggregation must still be exact");
+    // And the fold really happened: one synthetic query.
+    assert!((twotier.avg_synthetic_count - 1.0).abs() < 0.2);
+}
+
+#[test]
+fn optimized_strategies_cost_less_on_similar_workload() {
+    // Eight near-identical acquisition queries — the share-friendly regime.
+    let workload: Vec<WorkloadEvent> = (0..8)
+        .map(|i| {
+            WorkloadEvent::pose(
+                0,
+                q(i, "select light where 200<=light<=800 epoch duration 2048"),
+            )
+        })
+        .collect();
+    let mut tx = std::collections::BTreeMap::new();
+    for strategy in Strategy::ALL {
+        let report = run_experiment(&config(strategy, 4, 30), &workload);
+        tx.insert(strategy, report.avg_transmission_time_pct());
+    }
+    let base = tx[&Strategy::Baseline];
+    assert!(
+        tx[&Strategy::BsOnly] < base * 0.6,
+        "bs-only {} not ≪ baseline {base}",
+        tx[&Strategy::BsOnly]
+    );
+    assert!(
+        tx[&Strategy::InNetOnly] < base * 0.6,
+        "in-net-only {} not ≪ baseline {base}",
+        tx[&Strategy::InNetOnly]
+    );
+    assert!(
+        tx[&Strategy::TwoTier] < base * 0.6,
+        "two-tier {} not ≪ baseline {base}",
+        tx[&Strategy::TwoTier]
+    );
+}
+
+#[test]
+fn two_tier_handles_dynamic_arrivals_and_departures() {
+    let workload = vec![
+        WorkloadEvent::pose(
+            0,
+            q(1, "select light where 100<light<600 epoch duration 2048"),
+        ),
+        WorkloadEvent::pose(
+            3 * 2048,
+            q(2, "select light where 200<light<500 epoch duration 4096"),
+        ),
+        WorkloadEvent::terminate(10 * 2048, QueryId(1)),
+        WorkloadEvent::pose(
+            12 * 2048,
+            q(3, "select light where 150<light<550 epoch duration 2048"),
+        ),
+    ];
+    let report = run_experiment(&config(Strategy::TwoTier, 3, 24), &workload);
+    // q1 answered only while alive.
+    let a1 = &report.answers[&QueryId(1)];
+    assert!(a1.iter().all(|(e, _)| *e < 11 * 2048));
+    assert!(!a1.is_empty());
+    // q2 still answered after q1's termination.
+    let a2 = &report.answers[&QueryId(2)];
+    assert!(
+        a2.iter().any(|(e, _)| *e > 12 * 2048),
+        "q2 must survive q1's exit"
+    );
+    // q3 answered after joining.
+    let a3 = &report.answers[&QueryId(3)];
+    assert!(!a3.is_empty());
+    assert!(a3.iter().all(|(e, _)| *e >= 12 * 2048));
+}
+
+#[test]
+fn covered_insertion_causes_no_network_traffic_spike() {
+    // One broad query, then a covered narrow one: the second must be absorbed.
+    let broad = q(1, "select light, temp epoch duration 2048");
+    let narrow = q(2, "select light where 300<=light<=500 epoch duration 4096");
+    let workload_one = vec![WorkloadEvent::pose(0, broad.clone())];
+    let workload_two = vec![
+        WorkloadEvent::pose(0, broad),
+        WorkloadEvent::pose(5 * 2048, narrow),
+    ];
+    let one = run_experiment(&config(Strategy::TwoTier, 3, 20), &workload_one);
+    let two = run_experiment(&config(Strategy::TwoTier, 3, 20), &workload_two);
+    let m1 = one.metrics.tx_count(ttmqo_sim::MsgKind::Result);
+    let m2 = two.metrics.tx_count(ttmqo_sim::MsgKind::Result);
+    assert_eq!(m1, m2, "covered query must add zero result messages");
+    // Yet the covered query is fully answered.
+    assert!(!two.answers[&QueryId(2)].is_empty());
+    assert_eq!(two.optimizer_stats.unwrap().absorbed_insertions, 1);
+}
+
+#[test]
+fn non_divisible_epochs_share_in_network() {
+    // 4096 vs 6144 ms: tier 1 cannot merge them (GCD 2048 carrier would fire
+    // more often than either), but tier 2 shares the common firings.
+    let workload = vec![
+        WorkloadEvent::pose(0, q(1, "select light epoch duration 4096")),
+        WorkloadEvent::pose(0, q(2, "select light epoch duration 6144")),
+    ];
+    let baseline = run_experiment(&config(Strategy::Baseline, 4, 36), &workload);
+    let innet = run_experiment(&config(Strategy::InNetOnly, 4, 36), &workload);
+    // Identical answers...
+    let from = 2 * 6144;
+    let to = 30 * 2048;
+    for qid in [QueryId(1), QueryId(2)] {
+        assert_eq!(
+            steady(&baseline.answers[&qid], from, to),
+            steady(&innet.answers[&qid], from, to),
+            "{qid} answers differ"
+        );
+    }
+    // ...at lower cost: at t = multiples of 12288 both queries fire and the
+    // in-network tier sends one shared message instead of two.
+    assert!(
+        innet.metrics.tx_count(ttmqo_sim::MsgKind::Result)
+            < baseline.metrics.tx_count(ttmqo_sim::MsgKind::Result),
+        "in-network sharing must reduce result messages: {} vs {}",
+        innet.metrics.tx_count(ttmqo_sim::MsgKind::Result),
+        baseline.metrics.tx_count(ttmqo_sim::MsgKind::Result)
+    );
+}

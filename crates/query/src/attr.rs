@@ -1,0 +1,175 @@
+//! Sensor attributes known to the (simulated) network.
+//!
+//! TinyDB exposes a virtual table `sensors` whose columns are the attributes
+//! every mote can sample. The TTMQO paper's experiments use `nodeid`, `light`
+//! and `temp`; we additionally model `humidity` and `voltage` so workloads can
+//! exercise wider schemas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A sensor attribute (a column of the virtual `sensors` table).
+///
+/// Each attribute has a fixed value domain, mirroring the calibrated ranges of
+/// TinyDB-era motes. The domain is used for predicate normalization and for
+/// uniform selectivity estimation.
+///
+/// # Examples
+///
+/// ```
+/// use ttmqo_query::Attribute;
+///
+/// let a: Attribute = "light".parse().unwrap();
+/// assert_eq!(a, Attribute::Light);
+/// assert_eq!(a.domain(), (0.0, 1000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// The unique node identifier (integer-valued).
+    NodeId,
+    /// Photosynthetically active light, raw ADC-style units in `[0, 1000]`.
+    Light,
+    /// Temperature in tenths of degrees Celsius, `[-400, 1000]`.
+    Temp,
+    /// Relative humidity in percent, `[0, 100]`.
+    Humidity,
+    /// Battery voltage in millivolts, `[1800, 3300]`.
+    Voltage,
+}
+
+impl Attribute {
+    /// All attributes, in canonical order.
+    pub const ALL: [Attribute; 5] = [
+        Attribute::NodeId,
+        Attribute::Light,
+        Attribute::Temp,
+        Attribute::Humidity,
+        Attribute::Voltage,
+    ];
+
+    /// The closed value domain `(min, max)` of this attribute.
+    ///
+    /// `NodeId`'s domain is `[0, 1023]`, large enough for every topology used
+    /// in the experiments.
+    pub fn domain(self) -> (f64, f64) {
+        match self {
+            Attribute::NodeId => (0.0, 1023.0),
+            Attribute::Light => (0.0, 1000.0),
+            Attribute::Temp => (-400.0, 1000.0),
+            Attribute::Humidity => (0.0, 100.0),
+            Attribute::Voltage => (1800.0, 3300.0),
+        }
+    }
+
+    /// Width of the value domain (`max - min`).
+    pub fn domain_width(self) -> f64 {
+        let (lo, hi) = self.domain();
+        hi - lo
+    }
+
+    /// Size, in bytes, a reading of this attribute occupies in a radio
+    /// message (TinyDB packs 16-bit samples).
+    pub fn wire_size(self) -> usize {
+        2
+    }
+
+    /// The lowercase column name used by the parser and `Display`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attribute::NodeId => "nodeid",
+            Attribute::Light => "light",
+            Attribute::Temp => "temp",
+            Attribute::Humidity => "humidity",
+            Attribute::Voltage => "voltage",
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown attribute name.
+///
+/// ```
+/// use ttmqo_query::Attribute;
+/// assert!("pressure".parse::<Attribute>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAttributeError {
+    name: String,
+}
+
+impl ParseAttributeError {
+    /// The offending attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for ParseAttributeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sensor attribute `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseAttributeError {}
+
+impl FromStr for Attribute {
+    type Err = ParseAttributeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        Attribute::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name() == lower)
+            .ok_or(ParseAttributeError { name: lower })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_all_attributes() {
+        for a in Attribute::ALL {
+            let parsed: Attribute = a.name().parse().unwrap();
+            assert_eq!(parsed, a);
+            assert_eq!(format!("{a}"), a.name());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(" LIGHT ".parse::<Attribute>().unwrap(), Attribute::Light);
+        assert_eq!("Temp".parse::<Attribute>().unwrap(), Attribute::Temp);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let err = "sound".parse::<Attribute>().unwrap_err();
+        assert_eq!(err.name(), "sound");
+        assert!(err.to_string().contains("sound"));
+    }
+
+    #[test]
+    fn domains_are_nonempty() {
+        for a in Attribute::ALL {
+            let (lo, hi) = a.domain();
+            assert!(lo < hi, "{a} has empty domain");
+            assert!(a.domain_width() > 0.0);
+        }
+    }
+
+    #[test]
+    fn wire_size_is_two_bytes() {
+        for a in Attribute::ALL {
+            assert_eq!(a.wire_size(), 2);
+        }
+    }
+}

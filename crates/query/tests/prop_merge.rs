@@ -1,0 +1,173 @@
+//! Property tests for the query rewrite algebra.
+
+use proptest::prelude::*;
+use ttmqo_query::{
+    covers_query, integrate, AggOp, Attribute, Predicate, PredicateSet, Query, QueryId, Selection,
+};
+
+fn arb_attr() -> impl Strategy<Value = Attribute> {
+    prop_oneof![
+        Just(Attribute::NodeId),
+        Just(Attribute::Light),
+        Just(Attribute::Temp),
+        Just(Attribute::Humidity),
+        Just(Attribute::Voltage),
+    ]
+}
+
+fn arb_agg_op() -> impl Strategy<Value = AggOp> {
+    prop_oneof![
+        Just(AggOp::Min),
+        Just(AggOp::Max),
+        Just(AggOp::Sum),
+        Just(AggOp::Count),
+        Just(AggOp::Avg),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (arb_attr(), 0.0f64..1.0, 0.0f64..1.0).prop_map(|(attr, a, b)| {
+        let (lo, hi) = attr.domain();
+        let width = hi - lo;
+        let (f1, f2) = if a <= b { (a, b) } else { (b, a) };
+        Predicate::new(attr, lo + f1 * width, lo + f2 * width).expect("bounds inside domain")
+    })
+}
+
+fn arb_predicates() -> impl Strategy<Value = PredicateSet> {
+    prop::collection::vec(arb_predicate(), 0..3).prop_map(|ps| {
+        // Intersections of random ranges on the same attribute can be empty;
+        // keep only the first predicate per attribute so queries stay valid.
+        let mut set = PredicateSet::new();
+        let mut seen = Vec::new();
+        for p in ps {
+            if !seen.contains(&p.attr()) {
+                seen.push(p.attr());
+                set.and(p);
+            }
+        }
+        set
+    })
+}
+
+fn arb_epoch_ms() -> impl Strategy<Value = u64> {
+    (1u64..=12).prop_map(|n| n * 2048)
+}
+
+fn arb_selection() -> impl Strategy<Value = Selection> {
+    prop_oneof![
+        prop::collection::vec(arb_attr(), 1..4).prop_map(Selection::attributes),
+        prop::collection::vec((arb_agg_op(), arb_attr()), 1..3).prop_map(Selection::aggregates),
+    ]
+}
+
+prop_compose! {
+    fn arb_query(id: u64)(
+        selection in arb_selection(),
+        predicates in arb_predicates(),
+        epoch_ms in arb_epoch_ms(),
+    ) -> Query {
+        Query::from_parts(
+            QueryId(id),
+            selection,
+            predicates,
+            ttmqo_query::EpochDuration::from_ms(epoch_ms).unwrap(),
+        )
+        .expect("generated queries are valid")
+    }
+}
+
+proptest! {
+    /// Whenever `integrate` succeeds, the merged query covers both members.
+    #[test]
+    fn integration_covers_both_members(a in arb_query(1), b in arb_query(2)) {
+        if let Some(m) = integrate(QueryId(100), &a, &b) {
+            prop_assert!(covers_query(&m, &a), "merged {m} must cover {a}");
+            prop_assert!(covers_query(&m, &b), "merged {m} must cover {b}");
+        }
+    }
+
+    /// Integration succeeds symmetrically and both directions cover both.
+    #[test]
+    fn integration_is_symmetric(a in arb_query(1), b in arb_query(2)) {
+        let ab = integrate(QueryId(100), &a, &b);
+        let ba = integrate(QueryId(101), &b, &a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(m1), Some(m2)) = (ab, ba) {
+            prop_assert_eq!(m1.epoch(), m2.epoch());
+            prop_assert!(m1.predicates().equivalent(m2.predicates()));
+        }
+    }
+
+    /// Coverage is transitive: if a covers b and b covers c then a covers c.
+    #[test]
+    fn coverage_is_transitive(a in arb_query(1), b in arb_query(2), c in arb_query(3)) {
+        if covers_query(&a, &b) && covers_query(&b, &c) {
+            prop_assert!(covers_query(&a, &c));
+        }
+    }
+
+    /// Every query covers itself.
+    #[test]
+    fn coverage_is_reflexive(a in arb_query(1)) {
+        prop_assert!(covers_query(&a, &a));
+    }
+
+    /// The merged epoch divides both member epochs.
+    #[test]
+    fn merged_epoch_divides_members(a in arb_query(1), b in arb_query(2)) {
+        if let Some(m) = integrate(QueryId(100), &a, &b) {
+            prop_assert!(m.epoch().divides(a.epoch()));
+            prop_assert!(m.epoch().divides(b.epoch()));
+        }
+    }
+
+    /// union_cover really is an upper bound in the covers order.
+    #[test]
+    fn union_cover_is_upper_bound(a in arb_predicates(), b in arb_predicates()) {
+        let u = a.union_cover(&b);
+        prop_assert!(u.covers(&a));
+        prop_assert!(u.covers(&b));
+    }
+
+    /// union_cover is commutative up to equivalence.
+    #[test]
+    fn union_cover_is_commutative(a in arb_predicates(), b in arb_predicates()) {
+        let u1 = a.union_cover(&b);
+        let u2 = b.union_cover(&a);
+        prop_assert!(u1.equivalent(&u2));
+    }
+
+    /// Uniform selectivity is monotone under coverage.
+    #[test]
+    fn selectivity_monotone_under_coverage(a in arb_predicates(), b in arb_predicates()) {
+        if a.covers(&b) {
+            prop_assert!(a.uniform_selectivity() >= b.uniform_selectivity() - 1e-12);
+        }
+    }
+
+    /// Matching rows of the member always match the merged query's predicates.
+    #[test]
+    fn merged_predicates_accept_member_rows(
+        a in arb_query(1),
+        b in arb_query(2),
+        light in 0.0f64..1000.0,
+        temp in -400.0f64..1000.0,
+        humidity in 0.0f64..100.0,
+        voltage in 1800.0f64..3300.0,
+        node in 0.0f64..64.0,
+    ) {
+        let lookup = |attr: Attribute| match attr {
+            Attribute::Light => light,
+            Attribute::Temp => temp,
+            Attribute::Humidity => humidity,
+            Attribute::Voltage => voltage,
+            Attribute::NodeId => node,
+        };
+        if let Some(m) = integrate(QueryId(100), &a, &b) {
+            if a.predicates().matches_with(lookup) || b.predicates().matches_with(lookup) {
+                prop_assert!(m.predicates().matches_with(lookup));
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Parser robustness: arbitrary input never panics, and valid queries
+//! round-trip through their `Display` form.
+
+use proptest::prelude::*;
+use ttmqo_query::{parse_query, QueryId};
+
+proptest! {
+    /// The parser returns `Ok` or `Err` — it must never panic, whatever the
+    /// input bytes.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in ".{0,200}") {
+        let _ = parse_query(QueryId(1), &text);
+    }
+
+    /// Same for inputs built from the language's own token vocabulary, which
+    /// reach much deeper into the grammar than random unicode.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("select"), Just("where"), Just("and"), Just("epoch"),
+                Just("duration"), Just("from"), Just("sensors"), Just("between"),
+                Just("light"), Just("temp"), Just("nodeid"), Just("max"), Just("min"),
+                Just("("), Just(")"), Just(","), Just("<"), Just("<="), Just(">"),
+                Just(">="), Just("="), Just("2048"), Just("100"), Just("-5"), Just("3.7"),
+            ],
+            0..24,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse_query(QueryId(1), &text);
+    }
+
+    /// A successfully parsed query's Display form re-parses to an equivalent
+    /// query (same selection, predicates and epoch).
+    #[test]
+    fn display_roundtrips(
+        attrs in prop::collection::vec(
+            prop_oneof![Just("light"), Just("temp"), Just("humidity")], 1..3),
+        lo in 0u32..400,
+        width in 1u32..500,
+        epoch_mult in 1u64..6,
+    ) {
+        let mut uniq = attrs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let text = format!(
+            "select {} where {} <= light <= {} epoch duration {}",
+            uniq.join(", "),
+            lo,
+            lo + width,
+            epoch_mult * 2048,
+        );
+        let q1 = parse_query(QueryId(1), &text).expect("constructed text is valid");
+        let q2 = parse_query(QueryId(1), &q1.to_string()).expect("display re-parses");
+        prop_assert_eq!(q1.selection(), q2.selection());
+        prop_assert!(q1.predicates().equivalent(q2.predicates()));
+        prop_assert_eq!(q1.epoch(), q2.epoch());
+    }
+}

@@ -1,0 +1,123 @@
+//! Energy accounting.
+//!
+//! The paper uses *average transmission time* as its energy/bandwidth proxy
+//! ("radio transmission is the most energy intensive operation a node
+//! performs"). This module converts the simulator's time accounting into
+//! millijoules under a mote power profile, which also makes the value of
+//! sleep mode (saved idle listening) directly visible.
+
+/// Power profile of one mote, Mica2-class defaults.
+///
+/// # Examples
+///
+/// ```
+/// use ttmqo_sim::EnergyProfile;
+///
+/// let p = EnergyProfile::default();
+/// // One second of transmitting costs more than one of idle listening.
+/// assert!(p.tx_mw > p.idle_mw);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyProfile {
+    /// Radio transmit power, mW.
+    pub tx_mw: f64,
+    /// Radio receive power, mW.
+    pub rx_mw: f64,
+    /// Idle listening power (radio on, nothing arriving), mW.
+    pub idle_mw: f64,
+    /// Sleep power (radio off), mW.
+    pub sleep_mw: f64,
+    /// Energy per sensor sample, µJ.
+    pub sample_uj: f64,
+}
+
+impl Default for EnergyProfile {
+    fn default() -> Self {
+        // CC1000-era figures: TX ≈ 60 mW, RX/idle ≈ 30 mW, sleep ≈ 3 µW,
+        // a sample (ADC + sensor warmup) ≈ 90 µJ.
+        EnergyProfile {
+            tx_mw: 60.0,
+            rx_mw: 30.0,
+            idle_mw: 30.0,
+            sleep_mw: 0.003,
+            sample_uj: 90.0,
+        }
+    }
+}
+
+impl EnergyProfile {
+    /// Energy, in millijoules, of a node that over `horizon_ms` spent
+    /// `tx_ms` transmitting, `rx_ms` receiving and `sleep_ms` asleep, taking
+    /// `samples` sensor readings; the remainder is idle listening.
+    ///
+    /// Times exceeding the horizon are clamped (overlapping rx/tx windows
+    /// cannot push idle time below zero).
+    pub fn node_energy_mj(
+        &self,
+        horizon_ms: f64,
+        tx_ms: f64,
+        rx_ms: f64,
+        sleep_ms: f64,
+        samples: f64,
+    ) -> f64 {
+        let busy = (tx_ms + rx_ms + sleep_ms).min(horizon_ms);
+        let idle_ms = (horizon_ms - busy).max(0.0);
+        (self.tx_mw * tx_ms
+            + self.rx_mw * rx_ms
+            + self.idle_mw * idle_ms
+            + self.sleep_mw * sleep_ms)
+            / 1000.0
+            + self.sample_uj * samples / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_node_burns_idle_power() {
+        let p = EnergyProfile::default();
+        let e = p.node_energy_mj(1000.0, 0.0, 0.0, 0.0, 0.0);
+        assert!(
+            (e - 30.0).abs() < 1e-9,
+            "1 s idle at 30 mW = 30 mJ, got {e}"
+        );
+    }
+
+    #[test]
+    fn sleeping_is_cheaper_than_idling() {
+        let p = EnergyProfile::default();
+        let awake = p.node_energy_mj(1000.0, 0.0, 0.0, 0.0, 0.0);
+        let asleep = p.node_energy_mj(1000.0, 0.0, 0.0, 1000.0, 0.0);
+        assert!(asleep < awake / 100.0);
+    }
+
+    #[test]
+    fn transmission_dominates() {
+        let p = EnergyProfile::default();
+        let quiet = p.node_energy_mj(1000.0, 0.0, 0.0, 0.0, 0.0);
+        let chatty = p.node_energy_mj(1000.0, 500.0, 0.0, 0.0, 0.0);
+        assert!(chatty > quiet);
+    }
+
+    #[test]
+    fn busy_time_is_clamped() {
+        let p = EnergyProfile::default();
+        // tx+rx+sleep exceeding the horizon must not produce negative idle.
+        let e = p.node_energy_mj(1000.0, 800.0, 800.0, 0.0, 0.0);
+        assert!(e > 0.0);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn samples_add_energy() {
+        let p = EnergyProfile::default();
+        let none = p.node_energy_mj(1000.0, 0.0, 0.0, 0.0, 0.0);
+        let some = p.node_energy_mj(1000.0, 0.0, 0.0, 0.0, 100.0);
+        assert!(
+            (some - none - 9.0).abs() < 1e-9,
+            "100 samples at 90 µJ = 9 mJ"
+        );
+    }
+}

@@ -1,0 +1,820 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulator`] drives one [`NodeApp`] instance per node. Apps interact
+//! with the world exclusively through the [`Ctx`] handed to their callbacks:
+//! sending frames, setting timers, sampling sensors, sleeping and emitting
+//! outputs. The engine models:
+//!
+//! * per-node channel occupancy — a node's transmissions serialize, and each
+//!   costs `C_start + C_trans·len` of airtime (the paper's cost model);
+//! * the broadcast nature of the radio — every frame physically reaches all
+//!   in-range nodes; the [`Destination`] selects who processes it;
+//! * packet-level collisions (optional) — two frames overlapping in time at a
+//!   common receiver corrupt each other there, as in packet-level TOSSIM;
+//! * random per-receiver loss (optional) and bounded unicast retransmission;
+//! * sleep mode — a sleeping node receives nothing until it wakes.
+//!
+//! Everything is deterministic given the seed.
+
+use crate::field::SensorField;
+use crate::metrics::Metrics;
+use crate::radio::{Destination, MsgKind, RadioParams};
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt::Debug;
+use ttmqo_query::Attribute;
+
+/// Behaviour of one node (including the base station, which is node 0).
+///
+/// All interaction with the network happens through the [`Ctx`]: the engine
+/// applies queued actions after each callback returns.
+pub trait NodeApp: Sized {
+    /// Application frame payload carried by radio messages.
+    type Payload: Clone + Debug;
+    /// External commands injected into nodes from outside the network
+    /// (e.g. a user posing a query at the base station).
+    type Command: Debug;
+    /// Records emitted toward the outside world (e.g. query answers
+    /// delivered by the base station).
+    type Output: Debug;
+
+    /// Called once for every node when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Payload, Self::Output>);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Payload, Self::Output>, key: u64);
+
+    /// Called when a frame addressed to this node is received intact.
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Payload, Self::Output>,
+        from: NodeId,
+        kind: MsgKind,
+        payload: &Self::Payload,
+    );
+
+    /// Called when an external command scheduled via
+    /// [`Simulator::schedule_command`] arrives.
+    fn on_command(&mut self, ctx: &mut Ctx<'_, Self::Payload, Self::Output>, cmd: Self::Command);
+
+    /// Called when a frame *not* addressed to this node is overheard intact
+    /// (the broadcast nature of the radio: every in-range, awake node
+    /// physically receives every frame). Default: ignore.
+    fn on_overhear(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Payload, Self::Output>,
+        from: NodeId,
+        kind: MsgKind,
+        payload: &Self::Payload,
+    ) {
+        let _ = (ctx, from, kind, payload);
+    }
+}
+
+/// Handle through which a node interacts with the simulated world during a
+/// callback.
+#[derive(Debug)]
+pub struct Ctx<'a, P, O> {
+    node: NodeId,
+    now_us: u64,
+    topology: &'a Topology,
+    field: &'a dyn SensorField,
+    metrics: &'a mut Metrics,
+    outputs: &'a mut Vec<OutputRecord<O>>,
+    actions: Vec<Action<P>>,
+    rng_state: &'a mut u64,
+}
+
+/// One record emitted by a node via [`Ctx::emit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputRecord<O> {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// The emitting node.
+    pub node: NodeId,
+    /// The record itself.
+    pub output: O,
+}
+
+impl<'a, P, O> Ctx<'a, P, O> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ms(self.now_us / 1000)
+    }
+
+    /// The node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The network topology (positions, neighbours, levels).
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// This node's hop level (0 = base station).
+    pub fn level(&self) -> u32 {
+        self.topology.level(self.node)
+    }
+
+    /// Whether this node is the base station.
+    pub fn is_base_station(&self) -> bool {
+        self.node == NodeId::BASE_STATION
+    }
+
+    /// Transmits a frame. `payload_bytes` is the application payload length;
+    /// the radio adds its header. The frame occupies this node's channel for
+    /// `C_start + C_trans·len` and reaches in-range recipients when the
+    /// transmission completes.
+    pub fn send(&mut self, dest: Destination, kind: MsgKind, payload_bytes: usize, payload: P) {
+        self.actions.push(Action::Send {
+            dest,
+            kind,
+            payload_bytes,
+            payload,
+        });
+    }
+
+    /// Arms a one-shot timer `delay_ms` from now; `key` is returned to
+    /// [`NodeApp::on_timer`].
+    pub fn set_timer(&mut self, delay_ms: u64, key: u64) {
+        self.actions.push(Action::SetTimer { delay_ms, key });
+    }
+
+    /// Samples one attribute from the sensor field (charged to the sampling
+    /// energy budget).
+    pub fn read_sensor(&mut self, attr: Attribute) -> f64 {
+        self.metrics.record_sample();
+        self.field.reading(self.node, attr, self.now())
+    }
+
+    /// Puts the radio to sleep until `now + duration_ms`: no frames are
+    /// received while asleep (timers still fire — the clock keeps running).
+    pub fn sleep_for(&mut self, duration_ms: u64) {
+        self.actions.push(Action::Sleep { duration_ms });
+    }
+
+    /// Wakes the radio immediately (cancels a pending sleep).
+    pub fn wake(&mut self) {
+        self.actions.push(Action::Wake);
+    }
+
+    /// Emits a record toward the outside world (visible via
+    /// [`Simulator::outputs`]).
+    pub fn emit(&mut self, output: O) {
+        self.outputs.push(OutputRecord {
+            time: self.now(),
+            node: self.node,
+            output,
+        });
+    }
+
+    /// A deterministic pseudo-random `u64` from the simulation's seed.
+    pub fn rand_u64(&mut self) -> u64 {
+        next_rand(self.rng_state)
+    }
+
+    /// A deterministic pseudo-random value in `[0, 1)`.
+    pub fn rand_f64(&mut self) -> f64 {
+        (self.rand_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Debug)]
+enum Action<P> {
+    Send {
+        dest: Destination,
+        kind: MsgKind,
+        payload_bytes: usize,
+        payload: P,
+    },
+    SetTimer {
+        delay_ms: u64,
+        key: u64,
+    },
+    Sleep {
+        duration_ms: u64,
+    },
+    Wake,
+}
+
+#[derive(Debug)]
+enum EventKind<C> {
+    Timer {
+        node: NodeId,
+        key: u64,
+    },
+    Deliver {
+        frame: usize,
+        receiver: NodeId,
+        intended: bool,
+    },
+    Command {
+        node: NodeId,
+        cmd: C,
+    },
+    Maintenance {
+        node: NodeId,
+    },
+    Fail {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
+}
+
+#[derive(Debug)]
+struct Event<C> {
+    time_us: u64,
+    seq: u64,
+    kind: EventKind<C>,
+}
+
+impl<C> PartialEq for Event<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<C> Eq for Event<C> {}
+impl<C> PartialOrd for Event<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Event<C> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_us, self.seq).cmp(&(other.time_us, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct FrameState<P> {
+    src: NodeId,
+    dest: Destination,
+    kind: MsgKind,
+    payload_bytes: usize,
+    /// `None` for engine-generated maintenance beacons.
+    payload: Option<P>,
+    start_us: u64,
+    end_us: u64,
+    retries_left: u32,
+}
+
+/// Engine-level configuration beyond the radio itself.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for all randomness (loss, jitter).
+    pub seed: u64,
+    /// If set, every node broadcasts a maintenance beacon with this period
+    /// (ms), phase-staggered per node — the paper's "periodical network
+    /// maintenance messages".
+    pub maintenance_interval_ms: Option<u64>,
+    /// Payload bytes of a maintenance beacon.
+    pub maintenance_bytes: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            maintenance_interval_ms: Some(30_000),
+            maintenance_bytes: 8,
+        }
+    }
+}
+
+/// Factory building a node's application, used at start and on reboot.
+type AppFactory<A> = Box<dyn FnMut(NodeId, &Topology) -> A + Send>;
+
+/// The discrete-event simulator: one [`NodeApp`] per node plus the radio,
+/// field, metrics and event queue.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete runnable example.
+pub struct Simulator<A: NodeApp> {
+    nodes: Vec<A>,
+    factory: AppFactory<A>,
+    /// Per-node crash flag: a failed node neither receives nor transmits and
+    /// its timers are dropped; on recovery it reboots with fresh app state.
+    failed: Vec<bool>,
+    topology: Topology,
+    radio: RadioParams,
+    config: SimConfig,
+    field: Box<dyn SensorField + Send + Sync>,
+    metrics: Metrics,
+    outputs: Vec<OutputRecord<A::Output>>,
+    queue: BinaryHeap<Reverse<Event<A::Command>>>,
+    frames: Vec<FrameState<A::Payload>>,
+    /// Per-node earliest time the transmitter is free, µs.
+    tx_ready_at_us: Vec<u64>,
+    /// Per-node sleep deadline, µs (0 = awake).
+    sleep_until_us: Vec<u64>,
+    /// Per-node in-flight incoming frames `(start_us, end_us, frame_idx)`.
+    incoming: Vec<Vec<(u64, u64, usize)>>,
+    /// Frames corrupted at a given receiver by a collision.
+    corrupted: HashSet<(usize, NodeId)>,
+    now_us: u64,
+    seq: u64,
+    rng_state: u64,
+    started: bool,
+}
+
+impl<A: NodeApp> Simulator<A> {
+    /// Builds a simulator, constructing one app per node via `factory`.
+    pub fn new<F>(
+        topology: Topology,
+        radio: RadioParams,
+        config: SimConfig,
+        field: Box<dyn SensorField + Send + Sync>,
+        mut factory: F,
+    ) -> Self
+    where
+        F: FnMut(NodeId, &Topology) -> A + Send + 'static,
+    {
+        let n = topology.node_count();
+        let nodes: Vec<A> = topology.nodes().map(|id| factory(id, &topology)).collect();
+        let rng_state = config.seed;
+        Simulator {
+            nodes,
+            factory: Box::new(factory),
+            failed: vec![false; n],
+            metrics: Metrics::new(n),
+            outputs: Vec::new(),
+            queue: BinaryHeap::new(),
+            frames: Vec::new(),
+            tx_ready_at_us: vec![0; n],
+            sleep_until_us: vec![0; n],
+            incoming: vec![Vec::new(); n],
+            corrupted: HashSet::new(),
+            now_us: 0,
+            seq: 0,
+            rng_state,
+            started: false,
+            topology,
+            radio,
+            config,
+            field,
+        }
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Records emitted by nodes so far.
+    pub fn outputs(&self) -> &[OutputRecord<A::Output>] {
+        &self.outputs
+    }
+
+    /// Removes and returns all emitted records.
+    pub fn take_outputs(&mut self) -> Vec<OutputRecord<A::Output>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ms(self.now_us / 1000)
+    }
+
+    /// Immutable access to a node's app (for assertions in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &A {
+        &self.nodes[node.index()]
+    }
+
+    /// Schedules an external command for `node` at absolute time `at`.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: A::Command) {
+        let time_us = (at.as_ms() * 1000).max(self.now_us);
+        self.push_event(time_us, EventKind::Command { node, cmd });
+    }
+
+    /// Crashes `node` at time `at`: it stops transmitting, receiving and
+    /// processing timers until recovered. Commands addressed to it are lost.
+    pub fn schedule_failure(&mut self, at: SimTime, node: NodeId) {
+        let time_us = (at.as_ms() * 1000).max(self.now_us);
+        self.push_event(time_us, EventKind::Fail { node });
+    }
+
+    /// Reboots a failed node at time `at` with *fresh* application state
+    /// (volatile state such as installed queries is lost, as on a real mote).
+    pub fn schedule_recovery(&mut self, at: SimTime, node: NodeId) {
+        let time_us = (at.as_ms() * 1000).max(self.now_us);
+        self.push_event(time_us, EventKind::Recover { node });
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed[node.index()]
+    }
+
+    fn push_event(&mut self, time_us: u64, kind: EventKind<A::Command>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time_us,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Runs the simulation until `t_end` (inclusive of events at `t_end`).
+    ///
+    /// The first call invokes every node's [`NodeApp::on_start`] and arms the
+    /// maintenance schedule. May be called repeatedly with increasing times.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        let end_us = t_end.as_ms() * 1000;
+        if !self.started {
+            self.started = true;
+            for id in 0..self.nodes.len() {
+                self.dispatch_callback(NodeId(id as u16), Callback::Start);
+            }
+            if let Some(interval) = self.config.maintenance_interval_ms {
+                for id in 0..self.nodes.len() {
+                    // Stagger phases deterministically to avoid a thundering
+                    // herd of synchronized beacons.
+                    let phase = next_rand(&mut self.rng_state) % (interval * 1000);
+                    self.push_event(
+                        phase,
+                        EventKind::Maintenance {
+                            node: NodeId(id as u16),
+                        },
+                    );
+                }
+            }
+        }
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time_us > end_us {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            self.now_us = ev.time_us;
+            match ev.kind {
+                EventKind::Timer { node, key } => {
+                    if !self.failed[node.index()] {
+                        self.dispatch_callback(node, Callback::Timer(key));
+                    }
+                }
+                EventKind::Command { node, cmd } => {
+                    if !self.failed[node.index()] {
+                        self.dispatch_callback(node, Callback::Command(cmd));
+                    }
+                }
+                EventKind::Deliver {
+                    frame,
+                    receiver,
+                    intended,
+                } => {
+                    self.handle_delivery(frame, receiver, intended);
+                }
+                EventKind::Fail { node } => {
+                    self.failed[node.index()] = true;
+                    self.sleep_until_us[node.index()] = 0;
+                }
+                EventKind::Recover { node } => {
+                    if self.failed[node.index()] {
+                        self.failed[node.index()] = false;
+                        self.tx_ready_at_us[node.index()] = self.now_us;
+                        self.nodes[node.index()] = (self.factory)(node, &self.topology);
+                        self.dispatch_callback(node, Callback::Start);
+                    }
+                }
+                EventKind::Maintenance { node } => {
+                    if self.failed[node.index()] {
+                        // A dead node beacons nothing; re-arm for later.
+                        let interval = self
+                            .config
+                            .maintenance_interval_ms
+                            .expect("maintenance enabled");
+                        self.push_event(
+                            self.now_us + interval * 1000,
+                            EventKind::Maintenance { node },
+                        );
+                        continue;
+                    }
+                    self.transmit(
+                        node,
+                        Destination::Broadcast,
+                        MsgKind::Maintenance,
+                        self.config.maintenance_bytes,
+                        None,
+                        self.now_us,
+                        0,
+                    );
+                    let interval = self
+                        .config
+                        .maintenance_interval_ms
+                        .expect("maintenance enabled");
+                    self.push_event(
+                        self.now_us + interval * 1000,
+                        EventKind::Maintenance { node },
+                    );
+                }
+            }
+        }
+        self.now_us = end_us;
+        self.metrics.set_horizon(t_end);
+    }
+
+    fn dispatch_callback(&mut self, node: NodeId, cb: Callback<A::Command, A::Payload>) {
+        let actions = {
+            let app = &mut self.nodes[node.index()];
+            let mut ctx = Ctx {
+                node,
+                now_us: self.now_us,
+                topology: &self.topology,
+                field: self.field.as_ref(),
+                metrics: &mut self.metrics,
+                outputs: &mut self.outputs,
+                actions: Vec::new(),
+                rng_state: &mut self.rng_state,
+            };
+            match cb {
+                Callback::Start => app.on_start(&mut ctx),
+                Callback::Timer(key) => app.on_timer(&mut ctx, key),
+                Callback::Command(cmd) => app.on_command(&mut ctx, cmd),
+                Callback::Message {
+                    from,
+                    kind,
+                    payload,
+                    intended,
+                } => {
+                    if intended {
+                        app.on_message(&mut ctx, from, kind, &payload)
+                    } else {
+                        app.on_overhear(&mut ctx, from, kind, &payload)
+                    }
+                }
+            }
+            ctx.actions
+        };
+        for action in actions {
+            match action {
+                Action::Send {
+                    dest,
+                    kind,
+                    payload_bytes,
+                    payload,
+                } => {
+                    self.transmit(
+                        node,
+                        dest,
+                        kind,
+                        payload_bytes,
+                        Some(payload),
+                        self.now_us,
+                        self.radio.max_retries,
+                    );
+                }
+                Action::SetTimer { delay_ms, key } => {
+                    self.push_event(
+                        self.now_us + delay_ms * 1000,
+                        EventKind::Timer { node, key },
+                    );
+                }
+                Action::Sleep { duration_ms } => {
+                    // Re-planning an ongoing nap: retract the unspent part.
+                    let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
+                    self.metrics
+                        .record_sleep(node.index(), duration_ms as f64 - pending as f64 / 1000.0);
+                    self.sleep_until_us[node.index()] = self.now_us + duration_ms * 1000;
+                }
+                Action::Wake => {
+                    let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
+                    self.metrics
+                        .record_sleep(node.index(), -(pending as f64) / 1000.0);
+                    self.sleep_until_us[node.index()] = 0;
+                }
+            }
+        }
+    }
+
+    fn is_asleep(&self, node: NodeId) -> bool {
+        self.sleep_until_us[node.index()] > self.now_us
+    }
+
+    /// Puts a frame on the air from `src` no earlier than `earliest_us`.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        dest: Destination,
+        kind: MsgKind,
+        payload_bytes: usize,
+        payload: Option<A::Payload>,
+        earliest_us: u64,
+        retries_left: u32,
+    ) {
+        if self.failed[src.index()] {
+            return; // a dead node transmits nothing (incl. pending retries)
+        }
+        let total_bytes = payload_bytes + self.radio.header_bytes;
+        let dur_us = (self.radio.tx_time_ms(payload_bytes) * 1000.0).round() as u64;
+        let mut start_us = earliest_us.max(self.tx_ready_at_us[src.index()]);
+        if self.radio.collisions {
+            // CSMA: carrier-sense at the sender — defer past any frame
+            // currently audible here, plus a short random inter-frame gap.
+            // Hidden terminals (senders out of each other's range colliding
+            // at a common receiver) remain possible, as on real motes.
+            let mut audible: Vec<(u64, u64)> = self.incoming[src.index()]
+                .iter()
+                .map(|&(s, e, _)| (s, e))
+                .collect();
+            audible.sort_unstable();
+            let mut deferred = true;
+            while deferred {
+                deferred = false;
+                for &(s, e) in &audible {
+                    if s < start_us + dur_us && start_us < e {
+                        start_us = e + 200 + next_rand(&mut self.rng_state) % 800;
+                        deferred = true;
+                    }
+                }
+            }
+        }
+        let end_us = start_us + dur_us;
+        self.tx_ready_at_us[src.index()] = end_us;
+        self.metrics
+            .record_tx(src.index(), kind, total_bytes, dur_us as f64 / 1000.0);
+
+        let frame_idx = self.frames.len();
+        self.frames.push(FrameState {
+            src,
+            dest: dest.clone(),
+            kind,
+            payload_bytes,
+            payload,
+            start_us,
+            end_us,
+            retries_left,
+        });
+
+        let neighbors: Vec<NodeId> = self.topology.neighbors(src).to_vec();
+        for r in neighbors {
+            if self.radio.collisions {
+                // Interference: any concurrent in-range frame corrupts both.
+                let incoming = &mut self.incoming[r.index()];
+                incoming.retain(|&(_, e, _)| e > start_us);
+                for &(s, e, g) in incoming.iter() {
+                    if s < end_us && start_us < e {
+                        self.corrupted.insert((frame_idx, r));
+                        self.corrupted.insert((g, r));
+                    }
+                }
+                incoming.push((start_us, end_us, frame_idx));
+            }
+            let intended = dest.includes(r);
+            self.push_event(
+                end_us,
+                EventKind::Deliver {
+                    frame: frame_idx,
+                    receiver: r,
+                    intended,
+                },
+            );
+        }
+    }
+
+    fn handle_delivery(&mut self, frame_idx: usize, receiver: NodeId, intended: bool) {
+        let (src, kind, dest, payload_bytes, dur_ms, is_unicast) = {
+            let f = &self.frames[frame_idx];
+            (
+                f.src,
+                f.kind,
+                f.dest.clone(),
+                f.payload_bytes,
+                (f.end_us - f.start_us) as f64 / 1000.0,
+                matches!(f.dest, Destination::Unicast(_)),
+            )
+        };
+        let _ = dest;
+        if self.is_asleep(receiver) || self.failed[receiver.index()] {
+            // The radio is off (or the node is dead): the frame is missed.
+            if intended && is_unicast {
+                self.retry_or_give_up(frame_idx);
+            }
+            return;
+        }
+        self.metrics.record_rx(receiver.index(), dur_ms);
+
+        let corrupted = self.corrupted.remove(&(frame_idx, receiver));
+        let loss_prob = if self.radio.distance_loss {
+            let d = self
+                .topology
+                .position(src)
+                .distance(self.topology.position(receiver));
+            self.radio.loss_at(d, self.topology.radio_range())
+        } else {
+            self.radio.loss_rate
+        };
+        let lost = !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
+        if corrupted {
+            self.metrics.record_collision();
+        }
+        if lost {
+            self.metrics.record_loss();
+        }
+        if corrupted || lost {
+            if intended && is_unicast {
+                self.retry_or_give_up(frame_idx);
+            }
+            return;
+        }
+
+        let payload = match &self.frames[frame_idx].payload {
+            Some(p) => p.clone(),
+            // Engine-generated beacon: accounted, not delivered to the app.
+            None => return,
+        };
+        let _ = payload_bytes;
+        self.dispatch_callback(
+            receiver,
+            Callback::Message {
+                from: src,
+                kind,
+                payload,
+                intended,
+            },
+        );
+    }
+
+    fn retry_or_give_up(&mut self, frame_idx: usize) {
+        let (src, dest, kind, payload_bytes, payload, retries_left) = {
+            let f = &self.frames[frame_idx];
+            (
+                f.src,
+                f.dest.clone(),
+                f.kind,
+                f.payload_bytes,
+                f.payload.clone(),
+                f.retries_left,
+            )
+        };
+        if retries_left == 0 {
+            self.metrics.record_gave_up();
+            return;
+        }
+        self.metrics.record_retransmission();
+        // Random backoff with a window that doubles per attempt, so two
+        // colliding senders eventually desynchronize by more than one frame
+        // time (binary exponential backoff).
+        let attempt = self.radio.max_retries.saturating_sub(retries_left) + 1;
+        let window_us = 16_000u64 << attempt.min(6);
+        let backoff_us = 1000 + next_rand(&mut self.rng_state) % window_us;
+        self.transmit(
+            src,
+            dest,
+            kind,
+            payload_bytes,
+            payload,
+            self.now_us + backoff_us,
+            retries_left - 1,
+        );
+    }
+}
+
+impl<A: NodeApp> Debug for Simulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now())
+            .field("pending_events", &self.queue.len())
+            .field("frames_sent", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
+enum Callback<C, P> {
+    Start,
+    Timer(u64),
+    Command(C),
+    Message {
+        from: NodeId,
+        kind: MsgKind,
+        payload: P,
+        intended: bool,
+    },
+}
+
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn next_rand_f64(state: &mut u64) -> f64 {
+    (next_rand(state) >> 11) as f64 / (1u64 << 53) as f64
+}

@@ -1,0 +1,283 @@
+//! Simulation metrics: the measurements the paper's figures are built from.
+//!
+//! The headline metric is *average transmission time* — "the average
+//! percentage of transmission time spent on each node for all running queries
+//! over the simulation time" (§4.1). All radio message kinds count toward it:
+//! results, query propagation/abortion, maintenance and retransmissions.
+
+use crate::energy::EnergyProfile;
+use crate::radio::MsgKind;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-run accounting of radio and sensing activity.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Per-node time spent transmitting, ms (indexed by node id).
+    tx_busy_ms: Vec<f64>,
+    /// Per-node time spent receiving, ms.
+    rx_busy_ms: Vec<f64>,
+    /// Per-node time spent with the radio off, ms.
+    sleep_ms: Vec<f64>,
+    /// Number of transmissions by kind (retransmissions re-count their kind).
+    tx_count: BTreeMap<MsgKind, u64>,
+    /// Payload+header bytes transmitted by kind.
+    tx_bytes: BTreeMap<MsgKind, u64>,
+    /// Retransmissions caused by loss or collision.
+    retransmissions: u64,
+    /// Frames corrupted by collisions (counted per receiver).
+    collisions: u64,
+    /// Frames dropped by the random loss model (counted per receiver).
+    losses: u64,
+    /// Unicast frames abandoned after exhausting retries.
+    gave_up: u64,
+    /// Number of sensor samples taken.
+    samples: u64,
+    /// End of the measured window.
+    horizon: SimTime,
+}
+
+impl Metrics {
+    /// Fresh metrics for a network of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Metrics {
+            tx_busy_ms: vec![0.0; nodes],
+            rx_busy_ms: vec![0.0; nodes],
+            sleep_ms: vec![0.0; nodes],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_tx(&mut self, node: usize, kind: MsgKind, bytes: usize, busy_ms: f64) {
+        self.tx_busy_ms[node] += busy_ms;
+        *self.tx_count.entry(kind).or_insert(0) += 1;
+        *self.tx_bytes.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    pub(crate) fn record_rx(&mut self, node: usize, busy_ms: f64) {
+        self.rx_busy_ms[node] += busy_ms;
+    }
+
+    /// Adjusts a node's accumulated sleep time (negative when an early wake
+    /// cancels part of a planned nap).
+    pub(crate) fn record_sleep(&mut self, node: usize, ms: f64) {
+        self.sleep_ms[node] = (self.sleep_ms[node] + ms).max(0.0);
+    }
+
+    pub(crate) fn record_retransmission(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    pub(crate) fn record_collision(&mut self) {
+        self.collisions += 1;
+    }
+
+    pub(crate) fn record_loss(&mut self) {
+        self.losses += 1;
+    }
+
+    pub(crate) fn record_gave_up(&mut self) {
+        self.gave_up += 1;
+    }
+
+    pub(crate) fn record_sample(&mut self) {
+        self.samples += 1;
+    }
+
+    pub(crate) fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = self.horizon.max(t);
+    }
+
+    /// The paper's headline metric: mean over nodes of (time spent
+    /// transmitting ÷ simulated time), as a percentage.
+    ///
+    /// Returns 0.0 before any time has elapsed.
+    pub fn avg_transmission_time_pct(&self) -> f64 {
+        let duration = self.horizon.as_ms() as f64;
+        if duration <= 0.0 || self.tx_busy_ms.is_empty() {
+            return 0.0;
+        }
+        let mean_busy: f64 = self.tx_busy_ms.iter().sum::<f64>() / self.tx_busy_ms.len() as f64;
+        100.0 * mean_busy / duration
+    }
+
+    /// Total transmitting time across all nodes, ms.
+    pub fn total_tx_busy_ms(&self) -> f64 {
+        self.tx_busy_ms.iter().sum()
+    }
+
+    /// A node's transmitting time, ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_tx_busy_ms(&self, node: usize) -> f64 {
+        self.tx_busy_ms[node]
+    }
+
+    /// Total receiving time across all nodes, ms.
+    pub fn total_rx_busy_ms(&self) -> f64 {
+        self.rx_busy_ms.iter().sum()
+    }
+
+    /// Number of transmissions of the given kind.
+    pub fn tx_count(&self, kind: MsgKind) -> u64 {
+        self.tx_count.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of transmissions of all kinds.
+    pub fn tx_count_total(&self) -> u64 {
+        self.tx_count.values().sum()
+    }
+
+    /// Bytes transmitted of the given kind (headers included).
+    pub fn tx_bytes(&self, kind: MsgKind) -> u64 {
+        self.tx_bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Retransmissions caused by loss or collision.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Frames corrupted by collisions, per receiver.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Frames dropped by the random loss model, per receiver.
+    pub fn losses(&self) -> u64 {
+        self.losses
+    }
+
+    /// Unicast frames abandoned after exhausting retries.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Sensor samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total time spent asleep across all nodes, ms.
+    pub fn total_sleep_ms(&self) -> f64 {
+        self.sleep_ms.iter().sum()
+    }
+
+    /// A node's accumulated sleep time, ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_sleep_ms(&self, node: usize) -> f64 {
+        self.sleep_ms[node]
+    }
+
+    /// Whole-network energy over the measured window, millijoules, under the
+    /// given power profile. Sensing nodes' idle-listening time is whatever is
+    /// left of the horizon after transmit, receive and sleep.
+    pub fn total_energy_mj(&self, profile: &EnergyProfile) -> f64 {
+        let horizon = self.horizon.as_ms() as f64;
+        let per_node: f64 = (0..self.tx_busy_ms.len())
+            .map(|n| {
+                profile.node_energy_mj(
+                    horizon,
+                    self.tx_busy_ms[n],
+                    self.rx_busy_ms[n],
+                    self.sleep_ms[n],
+                    0.0,
+                )
+            })
+            .sum();
+        per_node + profile.sample_uj * self.samples as f64 / 1000.0
+    }
+
+    /// End of the measured window.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "avg transmission time: {:.4}% over {}",
+            self.avg_transmission_time_pct(),
+            self.horizon
+        )?;
+        for kind in MsgKind::ALL {
+            let c = self.tx_count(kind);
+            if c > 0 {
+                writeln!(f, "  {kind}: {c} msgs, {} bytes", self.tx_bytes(kind))?;
+            }
+        }
+        write!(
+            f,
+            "  retransmissions: {}, collisions: {}, losses: {}, samples: {}",
+            self.retransmissions, self.collisions, self.losses, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_transmission_time_is_mean_node_duty_cycle() {
+        let mut m = Metrics::new(2);
+        m.record_tx(0, MsgKind::Result, 30, 100.0);
+        m.record_tx(1, MsgKind::Result, 30, 300.0);
+        m.set_horizon(SimTime::from_ms(1000));
+        // node duty cycles 10% and 30% → mean 20%.
+        assert!((m.avg_transmission_time_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_yields_zero() {
+        let m = Metrics::new(4);
+        assert_eq!(m.avg_transmission_time_pct(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let mut m = Metrics::new(1);
+        m.record_tx(0, MsgKind::Result, 10, 1.0);
+        m.record_tx(0, MsgKind::Result, 20, 1.0);
+        m.record_tx(0, MsgKind::Maintenance, 5, 1.0);
+        assert_eq!(m.tx_count(MsgKind::Result), 2);
+        assert_eq!(m.tx_bytes(MsgKind::Result), 30);
+        assert_eq!(m.tx_count(MsgKind::Maintenance), 1);
+        assert_eq!(m.tx_count(MsgKind::QueryAbort), 0);
+        assert_eq!(m.tx_count_total(), 3);
+    }
+
+    #[test]
+    fn event_counters() {
+        let mut m = Metrics::new(1);
+        m.record_retransmission();
+        m.record_collision();
+        m.record_collision();
+        m.record_loss();
+        m.record_gave_up();
+        m.record_sample();
+        assert_eq!(m.retransmissions(), 1);
+        assert_eq!(m.collisions(), 2);
+        assert_eq!(m.losses(), 1);
+        assert_eq!(m.gave_up(), 1);
+        assert_eq!(m.samples(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = Metrics::new(1);
+        m.record_tx(0, MsgKind::Result, 10, 1.0);
+        m.set_horizon(SimTime::from_ms(10));
+        let s = m.to_string();
+        assert!(s.contains("avg transmission time"));
+        assert!(s.contains("result"));
+    }
+}

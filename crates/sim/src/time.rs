@@ -1,0 +1,116 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in milliseconds since simulation start.
+///
+/// Millisecond granularity matches the paper's epoch units (multiples of
+/// 2048 ms) while staying coarse enough that a `u64` never overflows in any
+/// realistic run.
+///
+/// # Examples
+///
+/// ```
+/// use ttmqo_sim::SimTime;
+///
+/// let t = SimTime::ZERO + 2048;
+/// assert_eq!(t.as_ms(), 2048);
+/// assert_eq!(t - SimTime::ZERO, 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from milliseconds since start.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition of a millisecond delay.
+    pub fn saturating_add(self, ms: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ms))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ms: u64) {
+        self.0 += ms;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    /// Elapsed milliseconds between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("time subtraction went negative")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(1000);
+        assert_eq!((t + 24).as_ms(), 1024);
+        let mut u = t;
+        u += 1000;
+        assert_eq!(u.as_ms(), 2000);
+        assert_eq!(u - t, 1000);
+        assert_eq!(t.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_elapsed_panics() {
+        let _ = SimTime::ZERO - SimTime::from_ms(1);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = SimTime::from_ms(u64::MAX);
+        assert_eq!(t.saturating_add(10).as_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_ms(1) < SimTime::from_ms(2));
+        assert_eq!(SimTime::from_ms(5).to_string(), "t=5ms");
+    }
+}

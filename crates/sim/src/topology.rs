@@ -1,0 +1,429 @@
+//! Network topology: node placement, radio connectivity, levels.
+//!
+//! The paper deploys nodes "uniformly in an n×n two-dimensional grid, with the
+//! base station node 0 at the upper left corner. The radio transmission radius
+//! is set to be 50 feet, while the grid spacing is 20 feet." [`Topology::grid`]
+//! reproduces exactly that; arbitrary placements are supported through
+//! [`Topology::from_positions`].
+
+use std::fmt;
+
+/// Identifier of a node in the simulated network.
+///
+/// Node 0 is, by convention, the base station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The base station's id.
+    pub const BASE_STATION: NodeId = NodeId(0);
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A 2-D position in feet.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate, feet.
+    pub x: f64,
+    /// Vertical coordinate, feet.
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to another position, feet.
+    pub fn distance(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Error constructing a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No nodes were given.
+    Empty,
+    /// More nodes than `NodeId` can address.
+    TooManyNodes(usize),
+    /// The radio range is not positive and finite.
+    InvalidRange,
+    /// Some node cannot reach the base station over any number of hops.
+    Disconnected(u16),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => f.write_str("topology has no nodes"),
+            TopologyError::TooManyNodes(n) => write!(f, "too many nodes: {n}"),
+            TopologyError::InvalidRange => f.write_str("radio range must be positive and finite"),
+            TopologyError::Disconnected(id) => {
+                write!(f, "node n{id} cannot reach the base station")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable network layout: positions, radio range and derived
+/// connectivity (neighbour lists and hop levels from the base station).
+///
+/// # Examples
+///
+/// ```
+/// use ttmqo_sim::{Topology, NodeId};
+///
+/// // The paper's 4×4 deployment: 20 ft spacing, 50 ft radio range.
+/// let topo = Topology::grid(4)?;
+/// assert_eq!(topo.node_count(), 16);
+/// assert_eq!(topo.level(NodeId(0)), 0);
+/// assert!(topo.neighbors(NodeId(0)).len() >= 3);
+/// # Ok::<(), ttmqo_sim::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Position>,
+    radio_range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+    levels: Vec<u32>,
+}
+
+/// The paper's grid spacing, feet.
+pub const GRID_SPACING_FT: f64 = 20.0;
+/// The paper's radio transmission radius, feet.
+pub const RADIO_RANGE_FT: f64 = 50.0;
+
+impl Topology {
+    /// The paper's uniform n×n grid: spacing 20 ft, radio range 50 ft, base
+    /// station node 0 at the upper-left corner, row-major ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if `n == 0` or the grid exceeds the id space.
+    pub fn grid(n: usize) -> Result<Self, TopologyError> {
+        Self::grid_with(n, GRID_SPACING_FT, RADIO_RANGE_FT)
+    }
+
+    /// An n×n grid with custom spacing and radio range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] on an empty grid, id-space overflow, invalid
+    /// range, or a spacing so large the grid is disconnected.
+    pub fn grid_with(n: usize, spacing: f64, range: f64) -> Result<Self, TopologyError> {
+        let positions: Vec<Position> = (0..n * n)
+            .map(|i| Position {
+                x: (i % n) as f64 * spacing,
+                y: (i / n) as f64 * spacing,
+            })
+            .collect();
+        Self::from_positions(positions, range)
+    }
+
+    /// A random uniform deployment: `n` nodes dropped uniformly over an
+    /// `extent × extent` square (the base station pinned at the origin
+    /// corner), retrying deterministically until the deployment is connected
+    /// under the given radio range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if `n == 0`, the range is invalid, or no
+    /// connected deployment is found within 64 deterministic retries
+    /// (the density is too low for the range).
+    pub fn random_uniform(
+        n: usize,
+        extent: f64,
+        range: f64,
+        seed: u64,
+    ) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let mut last_err = TopologyError::Disconnected(0);
+        for _ in 0..64 {
+            let mut positions = vec![Position { x: 0.0, y: 0.0 }];
+            positions.extend((1..n).map(|_| Position {
+                x: next() * extent,
+                y: next() * extent,
+            }));
+            match Self::from_positions(positions, range) {
+                Ok(t) => return Ok(t),
+                Err(e @ TopologyError::Disconnected(_)) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Builds a topology from explicit positions.
+    ///
+    /// Node `i` gets id `NodeId(i)`; node 0 is the base station.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if the position list is empty or too large,
+    /// the range invalid, or some node is unreachable from the base station.
+    pub fn from_positions(
+        positions: Vec<Position>,
+        radio_range: f64,
+    ) -> Result<Self, TopologyError> {
+        if positions.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        if positions.len() > u16::MAX as usize + 1 {
+            return Err(TopologyError::TooManyNodes(positions.len()));
+        }
+        if !(radio_range.is_finite() && radio_range > 0.0) {
+            return Err(TopologyError::InvalidRange);
+        }
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance(positions[j]) <= radio_range {
+                    neighbors[i].push(NodeId(j as u16));
+                    neighbors[j].push(NodeId(i as u16));
+                }
+            }
+        }
+        // BFS hop levels from the base station.
+        let mut levels = vec![u32::MAX; n];
+        levels[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &neighbors[u] {
+                if levels[v.index()] == u32::MAX {
+                    levels[v.index()] = levels[u] + 1;
+                    queue.push_back(v.index());
+                }
+            }
+        }
+        if let Some(idx) = levels.iter().position(|&l| l == u32::MAX) {
+            return Err(TopologyError::Disconnected(idx as u16));
+        }
+        Ok(Topology {
+            positions,
+            radio_range,
+            neighbors,
+            levels,
+        })
+    }
+
+    /// Number of nodes, including the base station.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(|i| NodeId(i as u16))
+    }
+
+    /// The node's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// The configured radio transmission radius, feet.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Nodes within radio range of `node` (excluding itself).
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Whether two distinct nodes are within radio range of each other.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.positions[a.index()].distance(self.positions[b.index()]) <= self.radio_range
+    }
+
+    /// BFS hop distance from the base station (level 0).
+    pub fn level(&self, node: NodeId) -> u32 {
+        self.levels[node.index()]
+    }
+
+    /// All node levels, indexed by node id.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Maximum level over all nodes.
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Link quality in `(0, 1]`, decaying with distance (1 at distance 0).
+    ///
+    /// TinyDB associates a parent with each node "based on the link quality";
+    /// with a distance-decay model the best link is simply the closest
+    /// upper-level neighbour, which matches mote radios to first order.
+    pub fn link_quality(&self, a: NodeId, b: NodeId) -> f64 {
+        let d = self.positions[a.index()].distance(self.positions[b.index()]);
+        if d > self.radio_range {
+            0.0
+        } else {
+            1.0 / (1.0 + (d / self.radio_range).powi(2))
+        }
+    }
+
+    /// Neighbours of `node` one level closer to the base station.
+    pub fn upper_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let my = self.level(node);
+        self.neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&n| self.level(n) + 1 == my)
+            .collect()
+    }
+
+    /// The default TinyDB parent: the upper-level neighbour with the best
+    /// link quality (`None` only for the base station).
+    pub fn default_parent(&self, node: NodeId) -> Option<NodeId> {
+        if node == NodeId::BASE_STATION {
+            return None;
+        }
+        self.upper_neighbors(node).into_iter().max_by(|&a, &b| {
+            self.link_quality(node, a)
+                .partial_cmp(&self.link_quality(node, b))
+                .expect("link qualities are finite")
+                // Deterministic tie-break on id.
+                .then(b.0.cmp(&a.0).reverse())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_parameters() {
+        let t = Topology::grid(4).unwrap();
+        assert_eq!(t.node_count(), 16);
+        assert_eq!(t.radio_range(), 50.0);
+        // Corner-adjacent node distance is 20ft.
+        assert!((t.position(NodeId(1)).x - 20.0).abs() < 1e-9);
+        // 50ft range covers straight-2 (40ft), diagonal (28.3ft) and
+        // knight-move (44.7ft) but not straight-3 (60ft).
+        let n0 = t.neighbors(NodeId(0));
+        assert!(n0.contains(&NodeId(1)));
+        assert!(n0.contains(&NodeId(2)));
+        assert!(n0.contains(&NodeId(5)));
+        assert!(n0.contains(&NodeId(6)));
+        assert!(!n0.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn levels_are_bfs_hops() {
+        let t = Topology::grid(4).unwrap();
+        assert_eq!(t.level(NodeId(0)), 0);
+        assert_eq!(t.level(NodeId(1)), 1);
+        assert_eq!(t.level(NodeId(5)), 1);
+        // Opposite corner of a 4×4 grid: (60,60) away; reachable in 2 hops
+        // via (40,40).
+        assert_eq!(t.level(NodeId(15)), 2);
+        assert!(t.max_level() >= 2);
+    }
+
+    #[test]
+    fn eight_by_eight_grid_levels() {
+        let t = Topology::grid(8).unwrap();
+        assert_eq!(t.node_count(), 64);
+        // Far corner at (140,140): each hop covers at most 50ft in a
+        // straight line, ~4-5 hops expected.
+        assert!(t.level(NodeId(63)) >= 4);
+    }
+
+    #[test]
+    fn disconnected_grid_is_rejected() {
+        let err = Topology::grid_with(2, 100.0, 50.0).unwrap_err();
+        assert!(matches!(err, TopologyError::Disconnected(_)));
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert_eq!(
+            Topology::from_positions(vec![], 50.0).unwrap_err(),
+            TopologyError::Empty
+        );
+        assert_eq!(
+            Topology::from_positions(vec![Position::default()], 0.0).unwrap_err(),
+            TopologyError::InvalidRange
+        );
+        assert_eq!(
+            Topology::from_positions(vec![Position::default()], f64::NAN).unwrap_err(),
+            TopologyError::InvalidRange
+        );
+    }
+
+    #[test]
+    fn single_node_topology_is_fine() {
+        let t = Topology::from_positions(vec![Position::default()], 50.0).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert!(t.neighbors(NodeId(0)).is_empty());
+        assert_eq!(t.default_parent(NodeId(0)), None);
+    }
+
+    #[test]
+    fn link_quality_decays_with_distance() {
+        let t = Topology::grid(4).unwrap();
+        let q_near = t.link_quality(NodeId(0), NodeId(1)); // 20ft
+        let q_far = t.link_quality(NodeId(0), NodeId(2)); // 40ft
+        assert!(q_near > q_far);
+        assert_eq!(t.link_quality(NodeId(0), NodeId(3)), 0.0); // 60ft
+    }
+
+    #[test]
+    fn default_parent_is_closest_upper_neighbor() {
+        let t = Topology::grid(4).unwrap();
+        // Node 1 (level 1): only upper neighbour is the base station.
+        assert_eq!(t.default_parent(NodeId(1)), Some(NodeId(0)));
+        // Node 15 (level 2) should parent on some level-1 node.
+        let p = t.default_parent(NodeId(15)).unwrap();
+        assert_eq!(t.level(p), 1);
+    }
+
+    #[test]
+    fn upper_neighbors_are_one_level_closer() {
+        let t = Topology::grid(8).unwrap();
+        for node in t.nodes() {
+            for up in t.upper_neighbors(node) {
+                assert_eq!(t.level(up) + 1, t.level(node));
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_is_symmetric_and_irreflexive() {
+        let t = Topology::grid(4).unwrap();
+        for a in t.nodes() {
+            assert!(!t.in_range(a, a));
+            for b in t.nodes() {
+                assert_eq!(t.in_range(a, b), t.in_range(b, a));
+            }
+        }
+    }
+}

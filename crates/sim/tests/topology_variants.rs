@@ -1,0 +1,136 @@
+//! Random deployments and the distance-dependent loss model.
+
+use ttmqo_sim::{
+    ConstantField, Ctx, Destination, MsgKind, NodeApp, NodeId, Position, RadioParams, SimConfig,
+    SimTime, Simulator, Topology, TopologyError,
+};
+
+#[test]
+fn random_uniform_is_connected_and_deterministic() {
+    let a = Topology::random_uniform(40, 200.0, 50.0, 7).unwrap();
+    let b = Topology::random_uniform(40, 200.0, 50.0, 7).unwrap();
+    assert_eq!(a.node_count(), 40);
+    for node in a.nodes() {
+        assert_eq!(
+            a.position(node).x,
+            b.position(node).x,
+            "same seed, same layout"
+        );
+        assert!(a.level(node) < u32::MAX);
+    }
+    let c = Topology::random_uniform(40, 200.0, 50.0, 8).unwrap();
+    let differs = a
+        .nodes()
+        .skip(1)
+        .any(|n| a.position(n).x != c.position(n).x);
+    assert!(differs, "different seed, different layout");
+}
+
+#[test]
+fn random_uniform_base_station_is_at_origin() {
+    let t = Topology::random_uniform(25, 150.0, 60.0, 3).unwrap();
+    let p = t.position(NodeId::BASE_STATION);
+    assert_eq!((p.x, p.y), (0.0, 0.0));
+    assert_eq!(t.level(NodeId::BASE_STATION), 0);
+}
+
+#[test]
+fn impossible_density_reports_disconnected() {
+    // 3 nodes over a 10000 ft square with 50 ft range: essentially never
+    // connected in 64 deterministic tries.
+    let err = Topology::random_uniform(3, 10_000.0, 50.0, 1).unwrap_err();
+    assert!(matches!(err, TopologyError::Disconnected(_)));
+}
+
+#[test]
+fn loss_probability_grows_with_distance() {
+    let radio = RadioParams {
+        distance_loss: true,
+        ..RadioParams::default()
+    };
+    let near = radio.loss_at(5.0, 50.0);
+    let mid = radio.loss_at(30.0, 50.0);
+    let edge = radio.loss_at(50.0, 50.0);
+    assert!(near < mid && mid < edge);
+    assert!(near < 0.01, "close receivers barely lose: {near}");
+    assert!(edge >= 0.99, "edge-of-range reception mostly fails: {edge}");
+    // Without the model the probability is flat.
+    let flat = RadioParams {
+        loss_rate: 0.1,
+        ..RadioParams::lossless()
+    };
+    assert_eq!(flat.loss_at(1.0, 50.0), flat.loss_at(49.0, 50.0));
+}
+
+/// Minimal echo app for loss-rate measurement.
+#[derive(Debug, Default)]
+struct Counter {
+    received: u32,
+}
+
+impl NodeApp for Counter {
+    type Payload = u32;
+    type Command = ();
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, ()>) {
+        if ctx.node() == NodeId(1) {
+            for i in 0..200 {
+                ctx.set_timer(10 + i * 40, i);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, ()>, key: u64) {
+        ctx.send(
+            Destination::Unicast(NodeId(0)),
+            MsgKind::Result,
+            4,
+            key as u32,
+        );
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, u32, ()>, _: NodeId, _: MsgKind, _: &u32) {
+        self.received += 1;
+    }
+    fn on_command(&mut self, _: &mut Ctx<'_, u32, ()>, _: ()) {}
+}
+
+fn measure_loss(distance: f64) -> f64 {
+    let topo = Topology::from_positions(
+        vec![
+            Position { x: 0.0, y: 0.0 },
+            Position {
+                x: distance,
+                y: 0.0,
+            },
+        ],
+        50.0,
+    )
+    .unwrap();
+    let radio = RadioParams {
+        distance_loss: true,
+        max_retries: 0,
+        collisions: false,
+        ..RadioParams::default()
+    };
+    let mut sim = Simulator::new(
+        topo,
+        radio,
+        SimConfig {
+            maintenance_interval_ms: None,
+            ..SimConfig::default()
+        },
+        Box::new(ConstantField),
+        |_, _| Counter::default(),
+    );
+    sim.run_until(SimTime::from_ms(10_000));
+    1.0 - sim.node(NodeId(0)).received as f64 / 200.0
+}
+
+#[test]
+fn end_to_end_loss_tracks_the_distance_model() {
+    let near = measure_loss(10.0);
+    let far = measure_loss(45.0);
+    assert!(near < 0.05, "near loss {near}");
+    assert!(far > 0.4, "far loss {far}");
+    assert!(far > near + 0.3);
+}

@@ -1,0 +1,25 @@
+//! Statistics substrate for the TTMQO reproduction: selectivity estimation
+//! and routing-tree level populations.
+//!
+//! The base-station cost model (Eqs. 1–3 of the paper) needs two statistical
+//! inputs: `sel(q, N_k)` — the fraction of nodes whose readings satisfy a
+//! query's predicates — and the per-level node populations `N_k` of the data
+//! routing tree. This crate provides both:
+//!
+//! * [`Histogram`] / [`DataDistribution`] / [`SelectivityEstimator`] for
+//!   selectivity, with the paper's uniform fallback;
+//! * [`LevelStats`] for the level populations, maximum depth and the average
+//!   depth `d` used in the paper's worked example.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod distribution;
+mod histogram;
+mod levels;
+
+pub use distribution::{
+    DataDistribution, EmpiricalDistribution, SelectivityEstimator, UniformDistribution,
+};
+pub use histogram::{Histogram, HistogramError};
+pub use levels::LevelStats;

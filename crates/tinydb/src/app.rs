@@ -1,0 +1,533 @@
+//! The baseline node application: TinyDB-style acquisitional query
+//! processing, one routing tree, every query handled independently.
+//!
+//! This is the comparison point of the paper's §4.1: "each query is optimized
+//! by TinyDB, and multiple queries that have been sent to the base station are
+//! all injected into the network to run concurrently without multi-query
+//! optimization". Concretely:
+//!
+//! * one **fixed routing tree** built from link quality (each node parents on
+//!   its best upper-level neighbour);
+//! * queries are **flooded** through the network and installed everywhere;
+//! * every query **samples separately** each epoch, even when another query
+//!   samples the same attribute at the same instant;
+//! * acquisition rows travel **per query** up the tree, forwarded hop by hop;
+//! * aggregation uses TAG-style slotted in-network aggregation, **per query**:
+//!   deeper levels transmit earlier so parents can merge partials.
+
+use crate::messages::{Command, Output, TinyDbPayload};
+use crate::srt::Srt;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use ttmqo_query::{AggValue, EpochAnswer, PartialAgg, Query, QueryId, Readings, Row, Selection};
+use ttmqo_sim::{Ctx, Destination, MsgKind, NodeApp, NodeId};
+
+/// Timer-key kinds (low 4 bits of the key).
+const KIND_SAMPLE: u64 = 0;
+const KIND_SLOT: u64 = 1;
+const KIND_CLOSE: u64 = 2;
+const KIND_FLOOD_QUERY: u64 = 3;
+const KIND_FLOOD_ABORT: u64 = 4;
+
+fn key(kind: u64, qid: QueryId, epoch_idx: u64) -> u64 {
+    (epoch_idx << 32) | ((qid.0 & 0x0FFF_FFFF) << 4) | kind
+}
+
+fn key_parts(key: u64) -> (u64, QueryId, u64) {
+    (key & 0xF, QueryId((key >> 4) & 0x0FFF_FFFF), key >> 32)
+}
+
+/// Per-node configuration of the baseline.
+#[derive(Debug, Clone)]
+pub struct TinyDbConfig {
+    /// Length of one TAG transmission slot, ms.
+    pub slot_ms: u64,
+    /// Maximum random jitter added to flood rebroadcasts and slot
+    /// transmissions, ms.
+    pub jitter_ms: u64,
+    /// Whether the Semantic Routing Tree prunes the dissemination of
+    /// queries with `nodeid` predicates (TinyDB's SRT; off by default to
+    /// match the paper's flooding baseline).
+    pub srt: bool,
+}
+
+impl Default for TinyDbConfig {
+    fn default() -> Self {
+        TinyDbConfig {
+            slot_ms: 64,
+            jitter_ms: 24,
+            srt: false,
+        }
+    }
+}
+
+/// The baseline TinyDB-style node application.
+///
+/// Use [`TinyDbApp::new`] in the factory passed to
+/// [`Simulator::new`](ttmqo_sim::Simulator::new); node 0 automatically acts
+/// as the base station.
+#[derive(Debug)]
+pub struct TinyDbApp {
+    config: TinyDbConfig,
+    /// Installed queries.
+    queries: BTreeMap<QueryId, Query>,
+    /// Queries whose dissemination flood we already relayed.
+    seen_query_floods: HashSet<QueryId>,
+    /// Aborts we already relayed.
+    seen_abort_floods: HashSet<QueryId>,
+    /// Aggregation partials per (query, epoch start ms), aligned with the
+    /// query's aggregate list.
+    agg_buffers: HashMap<(QueryId, u64), Vec<Option<PartialAgg>>>,
+    /// Base station only: acquisition rows per (query, epoch start ms).
+    row_buffers: HashMap<(QueryId, u64), Vec<Row>>,
+    /// Semantic routing tree (built lazily when `config.srt` is on).
+    srt: Option<Srt>,
+}
+
+impl TinyDbApp {
+    /// Creates a baseline node with the given configuration.
+    pub fn new(config: TinyDbConfig) -> Self {
+        TinyDbApp {
+            config,
+            queries: BTreeMap::new(),
+            seen_query_floods: HashSet::new(),
+            seen_abort_floods: HashSet::new(),
+            agg_buffers: HashMap::new(),
+            row_buffers: HashMap::new(),
+            srt: None,
+        }
+    }
+
+    fn srt(&mut self, ctx: &Ctx<'_, TinyDbPayload, Output>) -> &Srt {
+        self.srt.get_or_insert_with(|| Srt::build(ctx.topology()))
+    }
+
+    /// Currently installed queries (for tests and inspection).
+    pub fn installed_queries(&self) -> impl Iterator<Item = &Query> {
+        self.queries.values()
+    }
+
+    fn install(&mut self, ctx: &mut Ctx<'_, TinyDbPayload, Output>, query: Query) {
+        let qid = query.id();
+        if self.queries.contains_key(&qid) {
+            return;
+        }
+        let epoch = query.epoch();
+        self.queries.insert(qid, query);
+        // First firing strictly in the future, aligned to the global epoch
+        // grid (TinyDB synchronizes epochs via time sync).
+        let now = ctx.now().as_ms();
+        let t0 = epoch.next_fire_at(now + 1);
+        ctx.set_timer(t0 - now, key(KIND_SAMPLE, qid, 0));
+    }
+
+    fn uninstall(&mut self, qid: QueryId) {
+        self.queries.remove(&qid);
+        self.agg_buffers.retain(|(id, _), _| *id != qid);
+        self.row_buffers.retain(|(id, _), _| *id != qid);
+    }
+
+    fn relay_query_flood(&mut self, ctx: &mut Ctx<'_, TinyDbPayload, Output>, query: &Query) {
+        let qid = query.id();
+        if !self.seen_query_floods.insert(qid) {
+            return;
+        }
+        let (forwards, matches) = if self.config.srt && !ctx.is_base_station() {
+            let node = ctx.node();
+            let srt = self.srt(ctx);
+            (srt.forwards(node, query), srt.node_matches(node, query))
+        } else {
+            (true, true)
+        };
+        if forwards {
+            // Re-broadcast after a short random jitter to desynchronize the
+            // flood.
+            let jitter = 1 + ctx.rand_u64() % self.config.jitter_ms.max(1);
+            ctx.set_timer(jitter, key(KIND_FLOOD_QUERY, qid, 0));
+        }
+        if matches || ctx.is_base_station() {
+            self.install(ctx, query.clone());
+        } else {
+            // SRT-pruned: keep the definition around so the flood-relay
+            // timer can re-broadcast it, but bypass `install` — no sample
+            // timer is ever armed, so this node never sources data for it.
+            self.queries.entry(qid).or_insert_with(|| query.clone());
+        }
+    }
+
+    fn relay_abort_flood(&mut self, ctx: &mut Ctx<'_, TinyDbPayload, Output>, qid: QueryId) {
+        if !self.seen_abort_floods.insert(qid) {
+            return;
+        }
+        let jitter = 1 + ctx.rand_u64() % self.config.jitter_ms.max(1);
+        ctx.set_timer(jitter, key(KIND_FLOOD_ABORT, qid, 0));
+        self.uninstall(qid);
+    }
+
+    /// The time this node's TAG slot opens within an epoch that started at
+    /// `epoch_ms` (deeper levels transmit earlier).
+    fn slot_time(&self, ctx: &Ctx<'_, TinyDbPayload, Output>, epoch_ms: u64) -> u64 {
+        let depth_from_bottom = ctx.topology().max_level() - ctx.level();
+        epoch_ms + depth_from_bottom as u64 * self.config.slot_ms
+    }
+
+    /// When the base station closes an epoch that started at `epoch_ms`.
+    fn close_time(&self, ctx: &Ctx<'_, TinyDbPayload, Output>, epoch_ms: u64) -> u64 {
+        epoch_ms + (ctx.topology().max_level() as u64 + 1) * self.config.slot_ms + 32
+    }
+
+    fn parent(&self, ctx: &Ctx<'_, TinyDbPayload, Output>) -> Option<NodeId> {
+        ctx.topology().default_parent(ctx.node())
+    }
+
+    /// Whether this node's physical position satisfies the query's region
+    /// clause (queries without a region cover the whole deployment).
+    fn in_region(ctx: &Ctx<'_, TinyDbPayload, Output>, query: &Query) -> bool {
+        query.region().is_none_or(|r| {
+            let pos = ctx.topology().position(ctx.node());
+            r.contains(pos.x, pos.y)
+        })
+    }
+
+    fn handle_sample(
+        &mut self,
+        ctx: &mut Ctx<'_, TinyDbPayload, Output>,
+        qid: QueryId,
+        epoch_ms: u64,
+    ) {
+        let Some(query) = self.queries.get(&qid).cloned() else {
+            return; // query terminated since the timer was set
+        };
+        // Re-arm the periodic sample timer.
+        ctx.set_timer(query.epoch().as_ms(), key(KIND_SAMPLE, qid, 0));
+
+        if ctx.is_base_station() {
+            // The base station does not sense; it only closes the epoch.
+            let close_at = self.close_time(ctx, epoch_ms);
+            let epoch_idx = epoch_ms / ttmqo_query::BASE_EPOCH_MS;
+            ctx.set_timer(close_at - epoch_ms, key(KIND_CLOSE, qid, epoch_idx));
+            return;
+        }
+        if !Self::in_region(ctx, &query) {
+            // Outside the query's region: never a source (still a relay).
+            return;
+        }
+
+        // Sample every attribute this query needs — independently of any
+        // other query (the baseline shares nothing).
+        let mut readings = Readings::new();
+        for attr in query.sampled_attributes() {
+            let v = ctx.read_sensor(attr);
+            readings.set(attr, v);
+        }
+        let qualifies = query.predicates().matches_with(|attr| {
+            readings
+                .get(attr)
+                .expect("all predicate attributes were sampled")
+        });
+
+        match query.selection() {
+            Selection::Attributes(attrs) => {
+                if qualifies {
+                    let row = Row {
+                        node: ctx.node().0,
+                        time_ms: epoch_ms,
+                        readings: readings.project(attrs),
+                    };
+                    let payload = TinyDbPayload::Rows {
+                        qid,
+                        epoch_ms,
+                        rows: vec![row],
+                    };
+                    if let Some(parent) = self.parent(ctx) {
+                        let bytes = payload.wire_size();
+                        ctx.send(
+                            Destination::Unicast(parent),
+                            MsgKind::Result,
+                            bytes,
+                            payload,
+                        );
+                    }
+                }
+            }
+            Selection::Aggregates(aggs) => {
+                if qualifies {
+                    let seeded: Vec<Option<PartialAgg>> = aggs
+                        .iter()
+                        .map(|&(op, attr)| readings.get(attr).map(|v| op.seed(v)))
+                        .collect();
+                    merge_partials(
+                        self.agg_buffers
+                            .entry((qid, epoch_ms))
+                            .or_insert_with(|| vec![None; aggs.len()]),
+                        &seeded,
+                    );
+                }
+                // Arm this node's TAG slot whether or not it qualified: it
+                // may still need to forward children's partials.
+                let epoch_idx = epoch_ms / ttmqo_query::BASE_EPOCH_MS;
+                let slot_at =
+                    self.slot_time(ctx, epoch_ms) + ctx.rand_u64() % self.config.jitter_ms.max(1);
+                let now = ctx.now().as_ms();
+                ctx.set_timer(
+                    slot_at.saturating_sub(now).max(1),
+                    key(KIND_SLOT, qid, epoch_idx),
+                );
+            }
+        }
+    }
+
+    fn handle_slot(
+        &mut self,
+        ctx: &mut Ctx<'_, TinyDbPayload, Output>,
+        qid: QueryId,
+        epoch_ms: u64,
+    ) {
+        let Some(partials) = self.agg_buffers.remove(&(qid, epoch_ms)) else {
+            return; // nothing to send this epoch
+        };
+        if partials.iter().all(Option::is_none) {
+            return;
+        }
+        if let Some(parent) = self.parent(ctx) {
+            let payload = TinyDbPayload::Partials {
+                qid,
+                epoch_ms,
+                partials,
+            };
+            let bytes = payload.wire_size();
+            ctx.send(
+                Destination::Unicast(parent),
+                MsgKind::Result,
+                bytes,
+                payload,
+            );
+        }
+    }
+
+    fn handle_close(
+        &mut self,
+        ctx: &mut Ctx<'_, TinyDbPayload, Output>,
+        qid: QueryId,
+        epoch_ms: u64,
+    ) {
+        let Some(query) = self.queries.get(&qid) else {
+            self.agg_buffers.remove(&(qid, epoch_ms));
+            self.row_buffers.remove(&(qid, epoch_ms));
+            return;
+        };
+        let answer = match query.selection() {
+            Selection::Attributes(_) => {
+                let mut rows = self
+                    .row_buffers
+                    .remove(&(qid, epoch_ms))
+                    .unwrap_or_default();
+                rows.sort_by_key(|r| r.node);
+                EpochAnswer::Rows(rows)
+            }
+            Selection::Aggregates(aggs) => {
+                let partials = self
+                    .agg_buffers
+                    .remove(&(qid, epoch_ms))
+                    .unwrap_or_default();
+                let values: Vec<AggValue> = aggs
+                    .iter()
+                    .zip(partials.iter().chain(std::iter::repeat(&None)))
+                    .filter_map(|(&(op, attr), p)| {
+                        p.as_ref().map(|p| AggValue {
+                            op,
+                            attr,
+                            value: p.finalize(),
+                        })
+                    })
+                    .collect();
+                EpochAnswer::Aggregates(values)
+            }
+        };
+        ctx.emit(Output::Answer {
+            qid,
+            epoch_ms,
+            answer,
+        });
+    }
+}
+
+/// Merges `incoming` into `buffer` element-wise.
+fn merge_partials(buffer: &mut Vec<Option<PartialAgg>>, incoming: &[Option<PartialAgg>]) {
+    if buffer.len() < incoming.len() {
+        buffer.resize(incoming.len(), None);
+    }
+    for (slot, inc) in buffer.iter_mut().zip(incoming) {
+        match (slot.as_mut(), inc) {
+            (Some(a), Some(b)) => a.merge(b).expect("aligned partials share operators"),
+            (None, Some(b)) => *slot = Some(*b),
+            _ => {}
+        }
+    }
+}
+
+impl NodeApp for TinyDbApp {
+    type Payload = TinyDbPayload;
+    type Command = Command;
+    type Output = Output;
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, TinyDbPayload, Output>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TinyDbPayload, Output>, timer_key: u64) {
+        let (kind, qid, epoch_idx) = key_parts(timer_key);
+        match kind {
+            KIND_SAMPLE => {
+                // The epoch that just started is "now" rounded to the grid.
+                let Some(query) = self.queries.get(&qid) else {
+                    return;
+                };
+                let now = ctx.now().as_ms();
+                let epoch_ms = now - now % query.epoch().as_ms();
+                self.handle_sample(ctx, qid, epoch_ms);
+            }
+            KIND_SLOT => {
+                self.handle_slot(ctx, qid, epoch_idx * ttmqo_query::BASE_EPOCH_MS);
+            }
+            KIND_CLOSE => {
+                self.handle_close(ctx, qid, epoch_idx * ttmqo_query::BASE_EPOCH_MS);
+            }
+            KIND_FLOOD_QUERY => {
+                if let Some(query) = self.queries.get(&qid) {
+                    let payload = TinyDbPayload::Query(query.clone());
+                    let bytes = payload.wire_size();
+                    ctx.send(
+                        Destination::Broadcast,
+                        MsgKind::QueryPropagation,
+                        bytes,
+                        payload,
+                    );
+                }
+            }
+            KIND_FLOOD_ABORT => {
+                let payload = TinyDbPayload::Abort(qid);
+                let bytes = payload.wire_size();
+                ctx.send(Destination::Broadcast, MsgKind::QueryAbort, bytes, payload);
+            }
+            _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, TinyDbPayload, Output>,
+        _from: NodeId,
+        _kind: MsgKind,
+        payload: &TinyDbPayload,
+    ) {
+        match payload {
+            TinyDbPayload::Query(q) => self.relay_query_flood(ctx, q),
+            TinyDbPayload::Abort(qid) => self.relay_abort_flood(ctx, *qid),
+            TinyDbPayload::Rows {
+                qid,
+                epoch_ms,
+                rows,
+            } => {
+                if ctx.is_base_station() {
+                    self.row_buffers
+                        .entry((*qid, *epoch_ms))
+                        .or_default()
+                        .extend(rows.iter().cloned());
+                } else if let Some(parent) = self.parent(ctx) {
+                    // Hop-by-hop forwarding, unchanged: the baseline never
+                    // merges traffic of different (or even the same) queries.
+                    let payload = payload.clone();
+                    let bytes = payload.wire_size();
+                    ctx.send(
+                        Destination::Unicast(parent),
+                        MsgKind::Result,
+                        bytes,
+                        payload,
+                    );
+                }
+            }
+            TinyDbPayload::Partials {
+                qid,
+                epoch_ms,
+                partials,
+            } => {
+                if ctx.is_base_station() {
+                    merge_partials(
+                        self.agg_buffers.entry((*qid, *epoch_ms)).or_default(),
+                        partials,
+                    );
+                    return;
+                }
+                let my_slot = self.slot_time(ctx, *epoch_ms);
+                if ctx.now().as_ms() > my_slot + self.config.jitter_ms {
+                    // Our slot already passed (late child): forward as-is.
+                    if let Some(parent) = self.parent(ctx) {
+                        let payload = payload.clone();
+                        let bytes = payload.wire_size();
+                        ctx.send(
+                            Destination::Unicast(parent),
+                            MsgKind::Result,
+                            bytes,
+                            payload,
+                        );
+                    }
+                } else {
+                    merge_partials(
+                        self.agg_buffers.entry((*qid, *epoch_ms)).or_default(),
+                        partials,
+                    );
+                    // A pure relay (e.g. SRT-pruned) has no sample timer and
+                    // therefore no slot timer yet: arm one. Duplicate slot
+                    // fires are harmless — the buffer empties on the first.
+                    let now = ctx.now().as_ms();
+                    let epoch_idx = epoch_ms / ttmqo_query::BASE_EPOCH_MS;
+                    ctx.set_timer(
+                        my_slot.saturating_sub(now).max(1),
+                        key(KIND_SLOT, *qid, epoch_idx),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, TinyDbPayload, Output>, cmd: Command) {
+        debug_assert!(ctx.is_base_station(), "commands arrive at the base station");
+        match cmd {
+            Command::Pose(query) => self.relay_query_flood(ctx, &query),
+            Command::Terminate(qid) => self.relay_abort_flood(ctx, qid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_key_roundtrip() {
+        let k = key(KIND_SLOT, QueryId(12345), 678);
+        let (kind, qid, epoch) = key_parts(k);
+        assert_eq!(kind, KIND_SLOT);
+        assert_eq!(qid, QueryId(12345));
+        assert_eq!(epoch, 678);
+    }
+
+    #[test]
+    fn merge_partials_elementwise() {
+        use ttmqo_query::AggOp;
+        let mut buf = vec![Some(AggOp::Max.seed(1.0)), None];
+        merge_partials(
+            &mut buf,
+            &[Some(AggOp::Max.seed(5.0)), Some(AggOp::Min.seed(2.0))],
+        );
+        assert_eq!(buf[0].unwrap().finalize(), 5.0);
+        assert_eq!(buf[1].unwrap().finalize(), 2.0);
+    }
+
+    #[test]
+    fn merge_partials_grows_buffer() {
+        use ttmqo_query::AggOp;
+        let mut buf: Vec<Option<PartialAgg>> = vec![];
+        merge_partials(&mut buf, &[Some(AggOp::Count.seed(0.0))]);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].unwrap().finalize(), 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The selectivity-controlled workloads of §4.3 (Figure 5).
+//!
+//! "…the number of concurrent queries is 8; data acquisition queries retrieve
+//! all the attributes; aggregation queries request for MAX(light);
+//! selectivity of predicates = 0.6 means that one of the attributes (nodeid,
+//! light, temp) is randomly specified in the query predicate with a range
+//! coverage as 0.6."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ttmqo_core::WorkloadEvent;
+use ttmqo_query::{
+    AggOp, Attribute, EpochDuration, Predicate, PredicateSet, Query, QueryId, Selection,
+};
+
+/// Parameters of the Figure 5 workload.
+#[derive(Debug, Clone)]
+pub struct SelectivityWorkloadParams {
+    /// Number of concurrent queries (the paper uses 8).
+    pub n_queries: usize,
+    /// Fraction of aggregation queries: 0.0, 0.5 and 1.0 in Figure 5.
+    pub aggregation_fraction: f64,
+    /// Range coverage of the single random predicate, `(0, 1]`.
+    pub selectivity: f64,
+    /// Epoch duration shared by all queries, ms (the quoted 89.7%-savings
+    /// data point uses a common epoch).
+    pub epoch_ms: u64,
+    /// Largest deployed node id. A `nodeid` predicate's coverage is relative
+    /// to the *deployed* id range `[0, nodeid_max]`, not the full id domain —
+    /// covering 60% of ids nobody owns would filter nothing meaningful.
+    pub nodeid_max: f64,
+    /// RNG seed (governs predicate attribute and placement).
+    pub seed: u64,
+}
+
+impl Default for SelectivityWorkloadParams {
+    fn default() -> Self {
+        SelectivityWorkloadParams {
+            n_queries: 8,
+            aggregation_fraction: 0.0,
+            selectivity: 0.6,
+            epoch_ms: 2048,
+            nodeid_max: 15.0,
+            seed: 0x5E1,
+        }
+    }
+}
+
+/// Attributes eligible for the random predicate.
+const PRED_ATTRS: [Attribute; 3] = [Attribute::NodeId, Attribute::Light, Attribute::Temp];
+
+/// Builds the Figure 5 workload: all queries posed at t = 0.
+///
+/// With `selectivity == 1.0` the predicate covers the whole domain and is
+/// omitted, making the queries maximally similar (the paper's sharpest data
+/// point).
+///
+/// # Panics
+///
+/// Panics if `selectivity` is outside `(0, 1]` or `n_queries` is zero.
+pub fn selectivity_workload(params: &SelectivityWorkloadParams) -> Vec<WorkloadEvent> {
+    assert!(
+        params.selectivity > 0.0 && params.selectivity <= 1.0,
+        "selectivity must be in (0, 1]"
+    );
+    assert!(params.n_queries > 0, "need at least one query");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n_agg = (params.n_queries as f64 * params.aggregation_fraction).round() as usize;
+    let epoch = EpochDuration::from_ms(params.epoch_ms).expect("valid epoch");
+
+    (0..params.n_queries)
+        .map(|i| {
+            let selection = if i < n_agg {
+                Selection::aggregates([(AggOp::Max, Attribute::Light)])
+            } else {
+                // "data acquisition queries retrieve all the attributes".
+                Selection::attributes([Attribute::NodeId, Attribute::Light, Attribute::Temp])
+            };
+            let mut predicates = PredicateSet::new();
+            if params.selectivity < 1.0 {
+                let attr = PRED_ATTRS[rng.gen_range(0..PRED_ATTRS.len())];
+                let (lo, hi) = if attr == Attribute::NodeId {
+                    (0.0, params.nodeid_max)
+                } else {
+                    attr.domain()
+                };
+                let width = hi - lo;
+                let start = rng.gen_range(0.0..=(1.0 - params.selectivity));
+                predicates.and(
+                    Predicate::new(
+                        attr,
+                        lo + start * width,
+                        lo + (start + params.selectivity) * width,
+                    )
+                    .expect("range inside the domain"),
+                );
+            }
+            let query = Query::from_parts(QueryId(i as u64), selection, predicates, epoch)
+                .expect("generated query is valid");
+            WorkloadEvent::pose(0, query)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_core::WorkloadAction;
+
+    fn queries(events: &[WorkloadEvent]) -> Vec<Query> {
+        events
+            .iter()
+            .filter_map(|e| match &e.action {
+                WorkloadAction::Pose(q) => Some(q.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_selectivity_means_no_predicates() {
+        let events = selectivity_workload(&SelectivityWorkloadParams {
+            selectivity: 1.0,
+            ..SelectivityWorkloadParams::default()
+        });
+        for q in queries(&events) {
+            assert!(q.predicates().is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn partial_selectivity_sets_one_predicate_of_right_width() {
+        let events = selectivity_workload(&SelectivityWorkloadParams {
+            selectivity: 0.6,
+            ..SelectivityWorkloadParams::default()
+        });
+        for q in queries(&events) {
+            assert_eq!(q.predicates().len(), 1, "{q}");
+            let p = q.predicates().iter().next().unwrap();
+            // Coverage is relative to the meaningful domain: the deployed id
+            // range for `nodeid`, the full domain for value attributes.
+            let domain_width = if p.attr() == Attribute::NodeId {
+                15.0
+            } else {
+                p.attr().domain_width()
+            };
+            assert!(
+                ((p.max() - p.min()) / domain_width - 0.6).abs() < 1e-9,
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_fraction_splits_the_mix() {
+        for (frac, expect_agg) in [(0.0, 0), (0.5, 4), (1.0, 8)] {
+            let events = selectivity_workload(&SelectivityWorkloadParams {
+                aggregation_fraction: frac,
+                ..SelectivityWorkloadParams::default()
+            });
+            let qs = queries(&events);
+            let agg = qs.iter().filter(|q| q.is_aggregation()).count();
+            assert_eq!(agg, expect_agg, "fraction {frac}");
+            for q in qs.iter().filter(|q| q.is_aggregation()) {
+                assert_eq!(
+                    q.selection(),
+                    &Selection::aggregates([(AggOp::Max, Attribute::Light)])
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity must be in (0, 1]")]
+    fn zero_selectivity_panics() {
+        selectivity_workload(&SelectivityWorkloadParams {
+            selectivity: 0.0,
+            ..SelectivityWorkloadParams::default()
+        });
+    }
+
+    #[test]
+    fn all_queries_share_the_epoch() {
+        let events = selectivity_workload(&SelectivityWorkloadParams::default());
+        for q in queries(&events) {
+            assert_eq!(q.epoch().as_ms(), 2048);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The static workloads of §4.2 (Figure 3).
+//!
+//! The paper's technical report with the exact query listings is no longer
+//! available; these workloads are reconstructed from the properties §4.2
+//! states each must have (see DESIGN.md §5):
+//!
+//! * [`workload_a`] — savings achievable by *both* tiers;
+//! * [`workload_b`] — savings only the *in-network* tier can capture;
+//! * [`workload_c`] — savings requiring both tiers together.
+
+use ttmqo_core::WorkloadEvent;
+use ttmqo_query::{parse_query, Query, QueryId};
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap_or_else(|e| panic!("workload query `{text}`: {e}"))
+}
+
+/// WORKLOAD_A: eight queries with heavy, *rewritable* overlap.
+///
+/// Six acquisition queries over `light` with nested predicates and harmonic
+/// epochs (2048/4096/8192 ms) — the base-station tier folds them into one
+/// synthetic query, and the in-network tier alternatively shares their
+/// aligned firings and messages. Two same-predicate `MAX(light)` queries
+/// complete the set (mergeable by tier 1, shareable by tier 2).
+pub fn workload_a() -> Vec<WorkloadEvent> {
+    [
+        q(0, "select light where 100<=light<=800 epoch duration 2048"),
+        q(1, "select light where 150<=light<=700 epoch duration 4096"),
+        q(2, "select light where 200<=light<=750 epoch duration 4096"),
+        q(3, "select light where 120<=light<=780 epoch duration 8192"),
+        q(4, "select light where 300<=light<=600 epoch duration 2048"),
+        q(5, "select light where 250<=light<=650 epoch duration 8192"),
+        q(6, "select max(light) epoch duration 4096"),
+        q(7, "select max(light) epoch duration 8192"),
+    ]
+    .into_iter()
+    .map(|query| WorkloadEvent::pose(0, query))
+    .collect()
+}
+
+/// WORKLOAD_B: eight queries the base-station tier *cannot* merge
+/// beneficially, but the in-network tier can still share.
+///
+/// Acquisition pairs with non-divisible epochs (4096 vs 6144 ms — a GCD
+/// carrier would fire every 2048 ms, more than either query needs, so tier 1
+/// keeps them separate) and aggregation queries with pairwise *different*
+/// predicates (tier 1's semantic-correctness constraint forbids merging;
+/// tier 2 still shares sampling, routes and equal partial values).
+pub fn workload_b() -> Vec<WorkloadEvent> {
+    [
+        // Same-predicate acquisition pairs whose epochs do not divide: a GCD
+        // carrier would fire every 2048 ms, more often than either member
+        // needs, so tier 1 correctly refuses to merge them.
+        q(0, "select light where 100<=light<=700 epoch duration 4096"),
+        q(1, "select light where 100<=light<=700 epoch duration 6144"),
+        q(2, "select temp where 0<=temp<=500 epoch duration 4096"),
+        q(3, "select temp where 0<=temp<=500 epoch duration 6144"),
+        // Aggregations over attributes no acquisition query carries, with
+        // pairwise different predicates: tier 1's semantic constraints forbid
+        // merging them with anything; folding them into an acquisition
+        // carrier would drop its predicates (selectivity → 1), which the cost
+        // model correctly rejects.
+        q(
+            4,
+            "select max(humidity) where 10<=humidity<=60 epoch duration 4096",
+        ),
+        q(
+            5,
+            "select max(humidity) where 20<=humidity<=70 epoch duration 6144",
+        ),
+        q(
+            6,
+            "select min(voltage) where 2000<=voltage<=2800 epoch duration 4096",
+        ),
+        q(
+            7,
+            "select min(voltage) where 2200<=voltage<=3000 epoch duration 6144",
+        ),
+    ]
+    .into_iter()
+    .map(|query| WorkloadEvent::pose(0, query))
+    .collect()
+}
+
+/// WORKLOAD_C: the mutual-complementarity mix.
+///
+/// Contains (a) aggregation queries derivable from a concurrently running
+/// acquisition stream — only tier 1 can suppress those from the network;
+/// (b) non-divisible-epoch acquisition pairs — only tier 2 can share those;
+/// (c) overlapping acquisition queries both tiers can exploit.
+pub fn workload_c() -> Vec<WorkloadEvent> {
+    [
+        // (c) selective acquisition carrier with harmonics — both tiers help.
+        q(
+            0,
+            "select light, temp where 200<=light<=800 epoch duration 2048",
+        ),
+        q(1, "select light where 300<=light<=700 epoch duration 4096"),
+        // (a) aggregations answerable from q0's stream (same predicates):
+        // only tier 1 can suppress these from the network entirely.
+        q(
+            2,
+            "select max(light) where 200<=light<=800 epoch duration 4096",
+        ),
+        q(
+            3,
+            "select min(temp) where 200<=light<=800 epoch duration 8192",
+        ),
+        // (b) same-predicate humidity pair with *non-divisible* epochs: a GCD
+        // carrier would fire every 2048 ms (more than either query needs), so
+        // tier 1 keeps them apart; only tier 2 shares their common firings.
+        q(
+            4,
+            "select humidity where 20<=humidity<=80 epoch duration 4096",
+        ),
+        q(
+            5,
+            "select humidity where 20<=humidity<=80 epoch duration 6144",
+        ),
+        // Aggregations with different predicates: tier 2 only.
+        q(
+            6,
+            "select max(light) where 0<=light<=500 epoch duration 4096",
+        ),
+        q(
+            7,
+            "select max(light) where 100<=light<=600 epoch duration 6144",
+        ),
+    ]
+    .into_iter()
+    .map(|query| WorkloadEvent::pose(0, query))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_core::WorkloadAction;
+    use ttmqo_query::EpochDuration;
+
+    fn queries(events: &[WorkloadEvent]) -> Vec<Query> {
+        events
+            .iter()
+            .filter_map(|e| match &e.action {
+                WorkloadAction::Pose(q) => Some(q.clone()),
+                WorkloadAction::Terminate(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn each_workload_has_eight_unique_queries() {
+        for events in [workload_a(), workload_b(), workload_c()] {
+            let qs = queries(&events);
+            assert_eq!(qs.len(), 8);
+            let mut ids: Vec<u64> = qs.iter().map(|q| q.id().0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 8);
+        }
+    }
+
+    #[test]
+    fn workload_a_is_fully_mergeable_by_tier1() {
+        // All acquisition predicates are over light and pairwise overlapping;
+        // all epochs are harmonics of 2048.
+        for query in queries(&workload_a()) {
+            assert!(EpochDuration::from_ms(2048).unwrap().divides(query.epoch()));
+        }
+    }
+
+    #[test]
+    fn workload_b_contains_non_divisible_epoch_pairs() {
+        let qs = queries(&workload_b());
+        let e0 = qs[0].epoch();
+        let e1 = qs[1].epoch();
+        assert!(
+            !e0.divides(e1) && !e1.divides(e0),
+            "4096 vs 6144 must not divide"
+        );
+    }
+
+    #[test]
+    fn workload_b_aggregations_have_distinct_predicates() {
+        let qs = queries(&workload_b());
+        let aggs: Vec<&Query> = qs.iter().filter(|q| q.is_aggregation()).collect();
+        assert!(aggs.len() >= 4);
+        for (i, a) in aggs.iter().enumerate() {
+            for b in &aggs[i + 1..] {
+                assert!(
+                    !a.predicates().equivalent(b.predicates()),
+                    "{a} vs {b}: tier 1 must not merge workload B aggregations"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_c_has_foldable_aggregations() {
+        let qs = queries(&workload_c());
+        // q2 (MAX light) is derivable from q0's light+temp acquisition.
+        assert!(ttmqo_query::covers_query(&qs[0], &qs[2]));
+        assert!(ttmqo_query::covers_query(&qs[0], &qs[3]));
+    }
+
+    #[test]
+    fn all_events_arrive_at_time_zero() {
+        for events in [workload_a(), workload_b(), workload_c()] {
+            assert!(events.iter().all(|e| e.at.as_ms() == 0));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Adaptive workload dashboard: queries joining and leaving over time.
+//!
+//! Replays a random Poisson workload (the Figure 4 model) through the
+//! base-station optimizer and prints a timeline of what the network actually
+//! sees — most insertions and terminations are absorbed at the base station
+//! without any network traffic, which is the first tier's whole point.
+//!
+//! Run with: `cargo run --release --example adaptive_dashboard`
+
+use ttmqo::core::{BaseStationOptimizer, CostModel, NetworkOp, WorkloadAction};
+use ttmqo::query::Attribute;
+use ttmqo::sim::Topology;
+use ttmqo::stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
+use ttmqo::workloads::{random_workload, RandomWorkloadParams};
+
+fn main() {
+    let events = random_workload(&RandomWorkloadParams {
+        n_queries: 40,
+        target_concurrency: 8.0,
+        nodeid_max: 15.0,
+        seed: 2026,
+        ..RandomWorkloadParams::default()
+    });
+
+    let topo = Topology::grid(4).expect("4x4 grid");
+    let mut estimator = SelectivityEstimator::uniform();
+    estimator.set_model(
+        Attribute::NodeId,
+        Box::new(EmpiricalDistribution::from_samples(
+            Attribute::NodeId,
+            topo.node_count(),
+            (1..topo.node_count()).map(|i| i as f64),
+        )),
+    );
+    let model = CostModel::new(
+        4.0,
+        0.2,
+        LevelStats::from_levels(topo.levels().iter().copied()),
+        estimator,
+    );
+    let mut opt = BaseStationOptimizer::new(model, 0.6);
+
+    println!(
+        "{:>9}  {:<11}  {:<46}  {:>5}  {:>5}  {:>7}",
+        "t (s)", "event", "network operations", "users", "syn", "benefit"
+    );
+    for event in &events {
+        let (label, ops) = match &event.action {
+            WorkloadAction::Pose(q) => {
+                let ops = opt.insert(q.clone()).expect("unique ids");
+                (format!("+ {}", q.id()), ops)
+            }
+            WorkloadAction::Terminate(qid) => (format!("- {qid}"), opt.terminate(*qid)),
+        };
+        let rendered = if ops.is_empty() {
+            "(absorbed at base station)".to_string()
+        } else {
+            ops.iter()
+                .map(|op| match op {
+                    NetworkOp::Inject(q) => format!("inject {}", q.id()),
+                    NetworkOp::Abort(id) => format!("abort {id}"),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "{:>9.1}  {:<11}  {:<46}  {:>5}  {:>5}  {:>6.1}%",
+            event.at.as_secs_f64(),
+            label,
+            rendered,
+            opt.user_count(),
+            opt.synthetic_count(),
+            100.0 * opt.benefit_ratio(),
+        );
+    }
+
+    let stats = opt.stats();
+    println!("\nsummary over {} queries:", stats.inserted);
+    println!(
+        "  {} of {} insertions and {} of {} terminations never touched the network",
+        stats.absorbed_insertions, stats.inserted, stats.absorbed_terminations, stats.terminated
+    );
+    println!(
+        "  total network operations: {} injections + {} abortions",
+        stats.injections, stats.abortions
+    );
+}

@@ -1,0 +1,78 @@
+//! Walkthrough of the paper's Figure 2 worked example.
+//!
+//! Builds the 9-node topology of the figure (base station + A…H), places the
+//! data exactly as the figure does (D,E,F,G,H answer q_i; D,G,H answer q_j),
+//! and compares TinyDB's fixed routing tree against the TTMQO DAG, for both
+//! the acquisition and the aggregation variant.
+//!
+//! Run with: `cargo run --release --example fig2_walkthrough`
+
+use ttmqo::sim::NodeId;
+use ttmqo_bench::fig2::{fig2_counts, fig2_queries, fig2_topology, NAMES};
+
+fn main() {
+    let topo = fig2_topology();
+    println!("Figure 2 topology (radio range 50 ft):\n");
+    println!(
+        "{:>4} {:>7} {:>7} {:>6} {:>14} {:>22}",
+        "node", "x", "y", "level", "tinydb parent", "upper neighbours"
+    );
+    for i in 0..9u16 {
+        let id = NodeId(i);
+        let pos = topo.position(id);
+        let parent = topo
+            .default_parent(id)
+            .map(|p| NAMES[p.index()].to_string())
+            .unwrap_or_else(|| "-".into());
+        let uppers: Vec<&str> = topo
+            .upper_neighbors(id)
+            .into_iter()
+            .map(|n| NAMES[n.index()])
+            .collect();
+        println!(
+            "{:>4} {:>7.0} {:>7.0} {:>6} {:>14} {:>22}",
+            NAMES[i as usize],
+            pos.x,
+            pos.y,
+            topo.level(id),
+            parent,
+            uppers.join(",")
+        );
+    }
+
+    let (qi, qj) = fig2_queries(false);
+    println!("\nq_i: {qi}");
+    println!("q_j: {qj}");
+    println!("data: light=500 at D,E,F,G,H; temp=50 at D,G,H\n");
+
+    for (label, aggregation, paper) in [
+        (
+            "acquisition",
+            false,
+            "paper: 20 msgs/8 nodes vs 12 msgs/6 nodes",
+        ),
+        ("aggregation", true, "paper: 14 msgs vs 7 msgs"),
+    ] {
+        let (tinydb, ttmqo) = fig2_counts(aggregation);
+        println!("== {label} variant ({paper}) ==");
+        println!(
+            "  TinyDB fixed tree : {:>5.1} result msgs/epoch, {} nodes transmitting",
+            tinydb.messages_per_epoch, tinydb.nodes_involved
+        );
+        println!(
+            "  TTMQO dynamic DAG : {:>5.1} result msgs/epoch, {} nodes transmitting",
+            ttmqo.messages_per_epoch, ttmqo.nodes_involved
+        );
+        println!(
+            "  saved: {:.0}%\n",
+            100.0 * (1.0 - ttmqo.messages_per_epoch / tinydb.messages_per_epoch)
+        );
+    }
+    println!(
+        "In the DAG runs, G routes through D (which has data for both queries)\n\
+         instead of its fixed parent C — so C and its parent A transmit nothing\n\
+         and can sleep, and one shared frame from each source answers both queries.\n\
+         For aggregation our shared frame also packs node B's two per-query\n\
+         partials together, beating the paper's count by one."
+    );
+}

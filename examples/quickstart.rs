@@ -1,0 +1,111 @@
+//! Quickstart: pose a handful of overlapping queries, watch the base-station
+//! optimizer rewrite them, run the full two-tier scheme on a simulated 4×4
+//! grid, and read the answers back.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ttmqo::core::{
+    run_experiment, BaseStationOptimizer, CostModel, ExperimentConfig, NetworkOp, Strategy,
+    WorkloadEvent,
+};
+use ttmqo::query::{parse_query, EpochAnswer, ParseQueryError, QueryId};
+use ttmqo::sim::{SimTime, Topology};
+use ttmqo::stats::{LevelStats, SelectivityEstimator};
+
+fn main() -> Result<(), ParseQueryError> {
+    // ------------------------------------------------------------------
+    // 1. The paper's §3.1.3 worked example, through the optimizer alone.
+    // ------------------------------------------------------------------
+    let q1 = parse_query(
+        QueryId(1),
+        "select light where 280<light<600 epoch duration 2048",
+    )?;
+    let q2 = parse_query(
+        QueryId(2),
+        "select light where 100<light<300 epoch duration 4096",
+    )?;
+    let q3 = parse_query(
+        QueryId(3),
+        "select light where 150<light<500 epoch duration 4096",
+    )?;
+
+    let topo = Topology::grid(4).expect("4x4 grid");
+    let model = CostModel::new(
+        4.0,
+        0.2,
+        LevelStats::from_levels(topo.levels().iter().copied()),
+        SelectivityEstimator::uniform(),
+    );
+    let mut optimizer = BaseStationOptimizer::new(model, 0.6);
+
+    println!("== Tier 1: greedy query rewriting (paper §3.1.3 example) ==");
+    for q in [&q1, &q2, &q3] {
+        println!("user poses:   {q}");
+        let ops = optimizer.insert(q.clone()).expect("fresh ids");
+        for op in &ops {
+            match op {
+                NetworkOp::Inject(s) => println!("  -> inject  {s}"),
+                NetworkOp::Abort(id) => println!("  -> abort   {id}"),
+            }
+        }
+        if ops.is_empty() {
+            println!("  -> absorbed at the base station (covered)");
+        }
+    }
+    println!(
+        "running synthetic queries: {} (benefit ratio {:.1}%)",
+        optimizer.synthetic_count(),
+        100.0 * optimizer.benefit_ratio()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. The same queries end-to-end on the simulated network.
+    // ------------------------------------------------------------------
+    println!("\n== End-to-end: baseline vs two-tier TTMQO on a 4x4 grid ==");
+    let workload: Vec<WorkloadEvent> = [q1, q2, q3]
+        .into_iter()
+        .map(|q| WorkloadEvent::pose(0, q))
+        .collect();
+
+    let mut two_tier_report = None;
+    for strategy in Strategy::ALL {
+        let config = ExperimentConfig {
+            strategy,
+            grid_n: 4,
+            duration: SimTime::from_ms(80 * 2048),
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&config, &workload);
+        println!(
+            "{:>12}: avg transmission time {:.4}%  ({} result messages)",
+            strategy.to_string(),
+            report.avg_transmission_time_pct(),
+            report.metrics.tx_count(ttmqo::sim::MsgKind::Result)
+        );
+        if strategy == Strategy::TwoTier {
+            two_tier_report = Some(report);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Answers are exact per user query despite the rewriting.
+    // ------------------------------------------------------------------
+    let report = two_tier_report.expect("two-tier ran");
+    println!("\n== Answers delivered to user query q1 (first 3 epochs) ==");
+    for (epoch_ms, answer) in report.answers[&QueryId(1)].iter().take(3) {
+        match answer {
+            EpochAnswer::Rows(rows) => {
+                println!("epoch {epoch_ms}: {} qualifying node(s)", rows.len());
+                for row in rows.iter().take(4) {
+                    println!("  node {:>2}: {}", row.node, row.readings);
+                }
+            }
+            EpochAnswer::Aggregates(vals) => {
+                for v in vals {
+                    println!("epoch {epoch_ms}: {}({}) = {}", v.op, v.attr, v.value);
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! Property tests over the whole pipeline: random query workloads through
+//! the optimizer must always preserve coverage invariants, and random small
+//! simulations must be deterministic and answer-exact.
+
+use proptest::prelude::*;
+use ttmqo::core::{BaseStationOptimizer, CostModel, NetworkOp, OptimizerOptions};
+use ttmqo::query::{
+    covers_query, AggOp, Attribute, EpochDuration, PredicateSet, Query, QueryId, Selection,
+};
+use ttmqo::sim::Topology;
+use ttmqo::stats::{LevelStats, SelectivityEstimator};
+
+fn arb_attr() -> impl Strategy<Value = Attribute> {
+    prop_oneof![
+        Just(Attribute::NodeId),
+        Just(Attribute::Light),
+        Just(Attribute::Temp),
+        Just(Attribute::Humidity),
+    ]
+}
+
+fn arb_selection() -> impl Strategy<Value = Selection> {
+    prop_oneof![
+        prop::collection::vec(arb_attr(), 1..3).prop_map(Selection::attributes),
+        (
+            prop_oneof![Just(AggOp::Min), Just(AggOp::Max), Just(AggOp::Avg)],
+            arb_attr()
+        )
+            .prop_map(|(op, attr)| Selection::aggregates([(op, attr)])),
+    ]
+}
+
+fn arb_predicates() -> impl Strategy<Value = PredicateSet> {
+    prop::collection::vec((arb_attr(), 0.0f64..1.0, 0.1f64..1.0), 0..2).prop_map(|specs| {
+        let mut ps = PredicateSet::new();
+        let mut used = Vec::new();
+        for (attr, start, cover) in specs {
+            if used.contains(&attr) {
+                continue;
+            }
+            used.push(attr);
+            let (lo, hi) = attr.domain();
+            let width = hi - lo;
+            let s = start.min(1.0 - cover.min(1.0)).max(0.0);
+            if let Ok(p) = ttmqo::query::Predicate::new(
+                attr,
+                lo + s * width,
+                lo + (s + cover.min(1.0 - s)) * width,
+            ) {
+                ps.and(p);
+            }
+        }
+        ps
+    })
+}
+
+prop_compose! {
+    fn arb_query(id: u64)(
+        selection in arb_selection(),
+        predicates in arb_predicates(),
+        epoch_mult in 1u64..8,
+    ) -> Query {
+        Query::from_parts(
+            QueryId(id),
+            selection,
+            predicates,
+            EpochDuration::from_base_multiples(epoch_mult),
+        ).expect("generated query valid")
+    }
+}
+
+fn optimizer() -> BaseStationOptimizer {
+    let topo = Topology::grid(4).unwrap();
+    let model = CostModel::new(
+        4.0,
+        0.2,
+        LevelStats::from_levels(topo.levels().iter().copied()),
+        SelectivityEstimator::uniform(),
+    );
+    BaseStationOptimizer::with_options(model, OptimizerOptions::default())
+}
+
+/// Every live user query must be covered by its synthetic query, and the
+/// injected set must mirror the synthetic set.
+fn assert_optimizer_invariants(opt: &BaseStationOptimizer, live: &[Query]) {
+    for q in live {
+        let syn_id = opt
+            .mapping(q.id())
+            .unwrap_or_else(|| panic!("live query {} unmapped", q.id()));
+        let sq = opt.synthetic(syn_id).expect("mapped synthetic exists");
+        assert!(
+            covers_query(sq.query(), q),
+            "synthetic {} does not cover {}",
+            sq.query(),
+            q
+        );
+    }
+    assert_eq!(opt.user_count(), live.len());
+    assert!(opt.synthetic_count() <= live.len().max(1));
+    // Note: the benefit ratio may legitimately go *negative* — Algorithm 2
+    // deliberately keeps stale synthetic queries after terminations (α), and
+    // §3.1.2 forces same-predicate aggregation merges even when marginal.
+    assert!(opt.benefit_ratio() <= 1.0 + 1e-9, "ratio cannot exceed 1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random insert/terminate interleavings never break coverage, and the
+    /// network-op stream is consistent (abort only what was injected).
+    #[test]
+    fn optimizer_invariants_under_random_interleavings(
+        queries in prop::collection::vec(arb_selection(), 4..12),
+        predicates in prop::collection::vec(arb_predicates(), 4..12),
+        epochs in prop::collection::vec(1u64..8, 4..12),
+        kill_order in prop::collection::vec(0usize..12, 0..8),
+    ) {
+        let n = queries.len().min(predicates.len()).min(epochs.len());
+        let mut opt = optimizer();
+        let mut live: Vec<Query> = Vec::new();
+        let mut injected: std::collections::BTreeSet<QueryId> = Default::default();
+
+        let apply_ops = |ops: Vec<NetworkOp>, injected: &mut std::collections::BTreeSet<QueryId>| {
+            for op in ops {
+                match op {
+                    NetworkOp::Inject(q) => {
+                        prop_assert!(injected.insert(q.id()), "double inject of {}", q.id());
+                    }
+                    NetworkOp::Abort(id) => {
+                        prop_assert!(injected.remove(&id), "abort of never-injected {id}");
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        for i in 0..n {
+            let q = Query::from_parts(
+                QueryId(i as u64),
+                queries[i].clone(),
+                predicates[i].clone(),
+                EpochDuration::from_base_multiples(epochs[i]),
+            ).expect("valid");
+            live.push(q.clone());
+            let ops = opt.insert(q).expect("unique ids");
+            apply_ops(ops, &mut injected)?;
+            assert_optimizer_invariants(&opt, &live);
+        }
+        for &k in &kill_order {
+            if k < live.len() {
+                let q = live.remove(k);
+                let ops = opt.terminate(q.id());
+                apply_ops(ops, &mut injected)?;
+                assert_optimizer_invariants(&opt, &live);
+            }
+        }
+        // The injected set equals the optimizer's synthetic set at all times.
+        let current: std::collections::BTreeSet<QueryId> =
+            opt.synthetic_queries().map(|q| q.id()).collect();
+        prop_assert_eq!(injected, current);
+    }
+
+    /// Inserting then immediately terminating every query leaves nothing
+    /// running and aborts everything injected.
+    #[test]
+    fn full_teardown_leaves_clean_state(ids in prop::collection::vec(0u64..32, 1..10)) {
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut opt = optimizer();
+        for &id in &unique {
+            let q = Query::from_parts(
+                QueryId(id),
+                Selection::attributes([Attribute::Light]),
+                PredicateSet::new(),
+                EpochDuration::from_base_multiples(1 + id % 4),
+            ).unwrap();
+            opt.insert(q).unwrap();
+        }
+        for &id in &unique {
+            opt.terminate(QueryId(id));
+        }
+        prop_assert_eq!(opt.user_count(), 0);
+        prop_assert_eq!(opt.synthetic_count(), 0);
+        let stats = opt.stats();
+        prop_assert_eq!(stats.injections, stats.abortions);
+    }
+}
