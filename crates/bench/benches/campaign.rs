@@ -1,0 +1,81 @@
+//! Runs the whole evaluation — Figure 3's static workloads plus Figure 4-style
+//! adaptive workloads, each × {16, 64} nodes × all four strategies — as one
+//! parallel campaign, and writes the per-run observability records to
+//! `BENCH_campaign.json` (JSON lines, one record per cell).
+//!
+//! Also times the same sweep sequentially to report the thread-pool speedup;
+//! per-cell metrics are asserted identical between the two runs (the cells
+//! are independent deterministic simulations, so parallelism must be an
+//! observational no-op).
+
+use ttmqo_bench::{paper_campaign, print_table, write_report, CAMPAIGN_REPORT_FILE};
+use ttmqo_core::{run_campaign, run_campaign_sequential};
+
+fn main() {
+    // ~1/4 of the figures' duration: minutes, not tens of minutes, while
+    // still exercising every axis of the sweep.
+    let spec = paper_campaign(24, 60);
+    eprintln!(
+        "campaign: {} cells (workloads {:?} × grids {:?} × strategies {})",
+        spec.cell_count(),
+        spec.workloads
+            .iter()
+            .map(|w| w.name.as_str())
+            .collect::<Vec<_>>(),
+        spec.grid_sizes,
+        spec.strategies.len(),
+    );
+
+    let parallel = run_campaign(&spec);
+    let sequential = run_campaign_sequential(&spec);
+    for (p, s) in parallel.cells.iter().zip(&sequential.cells) {
+        assert_eq!(
+            p.metrics, s.metrics,
+            "parallel and sequential runs diverged at {}/{}/{}",
+            p.workload, p.strategy, p.grid_n
+        );
+    }
+
+    let rows: Vec<Vec<String>> = parallel
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.clone(),
+                (c.grid_n * c.grid_n).to_string(),
+                c.strategy.to_string(),
+                format!("{:.4}", c.avg_transmission_time_pct()),
+                c.answer_epochs.to_string(),
+                format!("{:.0}", c.wall_clock_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Campaign — all figure sweeps, parallel",
+        &[
+            "workload",
+            "nodes",
+            "strategy",
+            "avg tx time %",
+            "answer epochs",
+            "cell wall ms",
+        ],
+        &rows,
+    );
+    eprintln!(
+        "wall clock: parallel {:.0} ms on {} threads vs sequential {:.0} ms \
+         (speedup {:.2}x); per-cell metrics identical",
+        parallel.wall_clock_ms,
+        parallel.threads,
+        sequential.wall_clock_ms,
+        sequential.wall_clock_ms / parallel.wall_clock_ms.max(1e-9),
+    );
+
+    match write_report(&parallel, CAMPAIGN_REPORT_FILE) {
+        Ok(()) => eprintln!(
+            "wrote {} records to {CAMPAIGN_REPORT_FILE}",
+            parallel.cells.len()
+        ),
+        Err(e) => eprintln!("could not write {CAMPAIGN_REPORT_FILE}: {e}"),
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper-wide campaign: every figure's sweep as one parallel run with a
+//! JSON-lines report (`BENCH_campaign.json`).
+//!
+//! Figures 3–5 are all grids of independent experiment cells; this module
+//! folds them into a single [`CampaignSpec`] so `cargo bench -p ttmqo-bench
+//! --bench campaign` executes the whole evaluation N-way parallel and leaves
+//! one observability record per run behind for dashboards and regression
+//! diffing.
+
+use std::io::Write as _;
+use std::path::Path;
+use ttmqo_core::{CampaignReport, CampaignSpec, ExperimentConfig, Strategy};
+use ttmqo_sim::SimTime;
+use ttmqo_workloads::{random_workload, RandomWorkloadParams};
+
+/// Default file the campaign bench writes its JSON-lines report to.
+pub const CAMPAIGN_REPORT_FILE: &str = "BENCH_campaign.json";
+
+/// The full evaluation sweep: the Figure 3 static workloads (A/B/C) plus
+/// Figure 4-style adaptive random workloads at low and high concurrency,
+/// each × {4×4, 8×8} grids × all four strategies.
+///
+/// `duration_epochs` scales simulated time (the figures use
+/// [`crate::FIG3_DURATION_EPOCHS`]; smaller values give quick smoke runs).
+/// `random_queries` sizes the adaptive workloads (the paper uses 500; the
+/// bench default keeps it small enough for minutes-long laptop runs).
+pub fn paper_campaign(duration_epochs: u64, random_queries: usize) -> CampaignSpec {
+    let base = ExperimentConfig {
+        duration: SimTime::from_ms(duration_epochs * 2048),
+        ..ExperimentConfig::default()
+    };
+    // The paper's generator spreads arrivals 40 s apart over hours; compress
+    // the inter-arrival so all `random_queries` arrivals land inside the
+    // first ~80% of whatever duration this campaign runs, leaving the tail
+    // for the last arrivals to produce answers.
+    let mean_arrival_ms = (duration_epochs * 2048) as f64 * 0.8 / random_queries.max(1) as f64;
+    let adaptive = |target_concurrency: f64, seed: u64| {
+        random_workload(&RandomWorkloadParams {
+            n_queries: random_queries,
+            mean_arrival_ms,
+            target_concurrency,
+            seed,
+            ..RandomWorkloadParams::default()
+        })
+    };
+    CampaignSpec::new(base)
+        .strategies(Strategy::ALL)
+        .grid_sizes([4, 8])
+        .workload("A", ttmqo_workloads::workload_a())
+        .workload("B", ttmqo_workloads::workload_b())
+        .workload("C", ttmqo_workloads::workload_c())
+        .workload("adaptive-8", adaptive(8.0, 0xF164))
+        .workload("adaptive-24", adaptive(24.0, 0xF164))
+}
+
+/// Writes a campaign report as JSON lines.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn write_report(report: &CampaignReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(report.to_jsonl().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_core::run_campaign_with;
+
+    #[test]
+    fn paper_campaign_covers_every_figure_axis() {
+        let spec = paper_campaign(24, 40);
+        // 5 workloads × 2 grids × 1 seed × 4 strategies.
+        assert_eq!(spec.cell_count(), 40);
+        let names: Vec<&str> = spec.workloads.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C", "adaptive-8", "adaptive-24"]);
+        // The adaptive workloads really carry the requested query count.
+        assert_eq!(spec.workloads[3].events.len(), 80); // 40 poses + 40 terms
+    }
+
+    #[test]
+    fn report_file_round_trips_as_jsonl() {
+        let spec = paper_campaign(4, 6)
+            .grid_sizes([3])
+            .strategies([Strategy::Baseline, Strategy::TwoTier]);
+        let report = run_campaign_with(&spec, 2);
+        let dir = std::env::temp_dir().join("ttmqo-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CAMPAIGN_REPORT_FILE);
+        write_report(&report, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), spec.cell_count());
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -2,8 +2,8 @@
 //! (adaptive workloads: benefit ratio, α, synthetic-query count).
 
 use ttmqo_core::{
-    run_experiment, BaseStationOptimizer, CostModel, ExperimentConfig, OptimizerOptions, Strategy,
-    WorkloadAction, WorkloadEvent,
+    run_campaign, BaseStationOptimizer, CampaignSpec, CostModel, ExperimentConfig,
+    OptimizerOptions, Strategy, WorkloadAction, WorkloadEvent,
 };
 use ttmqo_sim::{SimTime, Topology};
 use ttmqo_stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
@@ -26,31 +26,40 @@ pub struct Fig3Cell {
     pub savings_pct: f64,
 }
 
+/// The Figure 3 sweep as a campaign: workloads A/B/C × {4×4, 8×8} grids ×
+/// all four strategies over the default experiment configuration.
+pub fn fig3_campaign(duration_epochs: u64) -> CampaignSpec {
+    let base = ExperimentConfig {
+        duration: SimTime::from_ms(duration_epochs * 2048),
+        ..ExperimentConfig::default()
+    };
+    CampaignSpec::new(base)
+        .strategies(Strategy::ALL)
+        .grid_sizes([4, 8])
+        .workload("A", ttmqo_workloads::workload_a())
+        .workload("B", ttmqo_workloads::workload_b())
+        .workload("C", ttmqo_workloads::workload_c())
+}
+
 /// Runs the full Figure 3 matrix: workloads A/B/C × {16, 64} nodes × all four
-/// strategies.
+/// strategies, one campaign cell per thread-pool slot (the 24 cells are
+/// independent simulations; results are identical to running them one by
+/// one).
 pub fn fig3_matrix(duration_epochs: u64) -> Vec<Fig3Cell> {
-    let workloads: [(&'static str, Vec<WorkloadEvent>); 3] = [
-        ("A", ttmqo_workloads::workload_a()),
-        ("B", ttmqo_workloads::workload_b()),
-        ("C", ttmqo_workloads::workload_c()),
-    ];
-    let mut cells = Vec::new();
-    for (name, events) in &workloads {
+    let spec = fig3_campaign(duration_epochs);
+    let report = run_campaign(&spec);
+    let mut cells = Vec::with_capacity(report.cells.len());
+    for name in ["A", "B", "C"] {
         for grid_n in [4usize, 8] {
-            let mut baseline_tx = None;
+            let base = report
+                .cell(name, Strategy::Baseline, grid_n, spec.base.field_seed)
+                .expect("baseline cell ran")
+                .avg_transmission_time_pct();
             for strategy in Strategy::ALL {
-                let config = ExperimentConfig {
-                    strategy,
-                    grid_n,
-                    duration: SimTime::from_ms(duration_epochs * 2048),
-                    ..ExperimentConfig::default()
-                };
-                let report = run_experiment(&config, events);
-                let tx = report.avg_transmission_time_pct();
-                if strategy == Strategy::Baseline {
-                    baseline_tx = Some(tx);
-                }
-                let base = baseline_tx.expect("baseline runs first");
+                let tx = report
+                    .cell(name, strategy, grid_n, spec.base.field_seed)
+                    .expect("cell ran")
+                    .avg_transmission_time_pct();
                 cells.push(Fig3Cell {
                     workload: name,
                     nodes: grid_n * grid_n,

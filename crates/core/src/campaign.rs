@@ -1,0 +1,640 @@
+//! Experiment campaigns: declarative sweeps over the paper's evaluation
+//! space, executed across a thread pool with per-run observability.
+//!
+//! The paper's figures are all grids of independent runs — Figure 3 is
+//! workloads × network sizes × the four strategies, Figures 4–5 sweep the
+//! adaptive workload's concurrency — and the seed repo ran them one cell at
+//! a time in nested loops. A [`CampaignSpec`] names the sweep once
+//! (strategies × grid sizes × field seeds × workloads over a shared base
+//! [`ExperimentConfig`]), and [`run_campaign`] executes the cells N-way
+//! parallel over crossbeam scoped threads. Cells are completely independent
+//! simulations, each bit-for-bit deterministic given its configuration, so
+//! per-cell results are identical whatever the thread count — only the wall
+//! clock changes. [`run_campaign_sequential`] is the single-thread oracle the
+//! determinism tests compare against.
+//!
+//! Every cell yields a [`CellRecord`]: the cell's identity, its wall-clock
+//! time, event and answer counts, a [`MetricsSnapshot`] of the simulator's
+//! counters, and the tier-1 optimizer's statistics when that tier ran.
+//! [`CampaignReport::to_jsonl`] serializes the records as JSON lines (one
+//! object per cell) for dashboards and regression tracking. The JSON is
+//! emitted by a small writer in this module rather than through a serde
+//! serializer: the workspace's vendored `serde` is an API stub (the build
+//! environment has no registry access), so deriving `Serialize` would not
+//! produce output. The record shape is documented on [`CellRecord::to_json`].
+//!
+//! # Example
+//!
+//! ```
+//! use ttmqo_core::{
+//!     run_campaign_with, CampaignSpec, ExperimentConfig, Strategy, WorkloadEvent,
+//! };
+//! use ttmqo_query::{parse_query, QueryId};
+//! use ttmqo_sim::SimTime;
+//!
+//! let workload = vec![
+//!     WorkloadEvent::pose(0, parse_query(QueryId(1),
+//!         "select light where 100<light<600 epoch duration 2048").unwrap()),
+//!     WorkloadEvent::pose(0, parse_query(QueryId(2),
+//!         "select light where 200<light<500 epoch duration 4096").unwrap()),
+//! ];
+//! let base = ExperimentConfig {
+//!     duration: SimTime::from_ms(16 * 2048),
+//!     ..ExperimentConfig::default()
+//! };
+//! let spec = CampaignSpec::new(base)
+//!     .strategies([Strategy::Baseline, Strategy::TwoTier])
+//!     .grid_sizes([3])
+//!     .workload("pair", workload);
+//! let report = run_campaign_with(&spec, 2);
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.to_jsonl().lines().count() == 2);
+//! ```
+
+use crate::basestation::OptimizerStats;
+use crate::runner::{run_experiment, ExperimentConfig, Strategy, WorkloadEvent};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use ttmqo_sim::MetricsSnapshot;
+
+/// A named workload inside a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignWorkload {
+    /// Name carried into every record of this workload's cells.
+    pub name: String,
+    /// The user-level events every cell of this workload replays.
+    pub events: Vec<WorkloadEvent>,
+}
+
+/// A declarative sweep: the cross product of strategies, grid sizes, field
+/// seeds and workloads, every cell sharing `base` for everything else.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Configuration shared by every cell; each cell overrides `strategy`,
+    /// `grid_n` and `field_seed` with its own coordinates.
+    pub base: ExperimentConfig,
+    /// Strategies axis (defaults to all four of §4).
+    pub strategies: Vec<Strategy>,
+    /// Grid-side axis (defaults to the paper's 4 and 8 ⇒ 16 and 64 nodes).
+    pub grid_sizes: Vec<usize>,
+    /// Sensor-field seed axis (defaults to the base config's single seed).
+    pub field_seeds: Vec<u64>,
+    /// Workload axis; at least one is required to have any cells.
+    pub workloads: Vec<CampaignWorkload>,
+}
+
+impl CampaignSpec {
+    /// A spec over `base` with the paper's default axes (all four
+    /// strategies, 4×4 and 8×8 grids, the base config's field seed) and no
+    /// workloads yet.
+    pub fn new(base: ExperimentConfig) -> Self {
+        CampaignSpec {
+            strategies: Strategy::ALL.to_vec(),
+            grid_sizes: vec![4, 8],
+            field_seeds: vec![base.field_seed],
+            workloads: Vec::new(),
+            base,
+        }
+    }
+
+    /// Replaces the strategy axis.
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = Strategy>) -> Self {
+        self.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the grid-size axis.
+    pub fn grid_sizes(mut self, grid_sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.grid_sizes = grid_sizes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the field-seed axis.
+    pub fn field_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.field_seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Appends a named workload.
+    pub fn workload(mut self, name: impl Into<String>, events: Vec<WorkloadEvent>) -> Self {
+        self.workloads.push(CampaignWorkload {
+            name: name.into(),
+            events,
+        });
+        self
+    }
+
+    /// Number of cells the sweep expands to.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len()
+            * self.grid_sizes.len()
+            * self.field_seeds.len()
+            * self.strategies.len()
+    }
+
+    /// Expands the sweep into per-cell coordinates, in the deterministic
+    /// report order: workloads (outer) × grid sizes × field seeds ×
+    /// strategies (inner) — the order the paper's figure tables read in.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (workload, _) in self.workloads.iter().enumerate() {
+            for &grid_n in &self.grid_sizes {
+                for &field_seed in &self.field_seeds {
+                    for &strategy in &self.strategies {
+                        cells.push(CellSpec {
+                            index: cells.len(),
+                            workload,
+                            strategy,
+                            grid_n,
+                            field_seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Coordinates of one cell in a campaign's sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Position in the campaign's deterministic cell order.
+    pub index: usize,
+    /// Index into [`CampaignSpec::workloads`].
+    pub workload: usize,
+    /// Strategy coordinate.
+    pub strategy: Strategy,
+    /// Grid-side coordinate.
+    pub grid_n: usize,
+    /// Field-seed coordinate.
+    pub field_seed: u64,
+}
+
+impl CellSpec {
+    /// The full experiment configuration of this cell.
+    pub fn config(&self, base: &ExperimentConfig) -> ExperimentConfig {
+        ExperimentConfig {
+            strategy: self.strategy,
+            grid_n: self.grid_n,
+            field_seed: self.field_seed,
+            ..base.clone()
+        }
+    }
+}
+
+/// Observability record of one executed cell.
+///
+/// Everything except `wall_clock_ms` is a pure function of the cell's
+/// configuration: two runs of the same cell — sequential or parallel, on any
+/// machine — produce records that agree on every other field.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy that ran.
+    pub strategy: Strategy,
+    /// Grid side (nodes = `grid_n²`).
+    pub grid_n: usize,
+    /// Sensor-field seed.
+    pub field_seed: u64,
+    /// Host wall-clock time of this cell's simulation, ms. The only
+    /// non-deterministic field.
+    pub wall_clock_ms: f64,
+    /// Number of workload events replayed.
+    pub workload_events: usize,
+    /// Distinct user queries that received at least one answer.
+    pub queries_answered: usize,
+    /// Total `(query, epoch)` answers attributed to user queries.
+    pub answer_epochs: usize,
+    /// Time-weighted mean running synthetic-query count.
+    pub avg_synthetic_count: f64,
+    /// Time-weighted mean tier-1 benefit ratio.
+    pub avg_benefit_ratio: f64,
+    /// Tier-1 optimizer counters; `None` for strategies without that tier.
+    pub optimizer: Option<OptimizerStats>,
+    /// Simulator counters at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl CellRecord {
+    /// The paper's headline metric for this cell.
+    pub fn avg_transmission_time_pct(&self) -> f64 {
+        self.metrics.avg_transmission_time_pct
+    }
+
+    /// Serializes the record as one JSON object (one line of the campaign's
+    /// JSON-lines report):
+    ///
+    /// ```json
+    /// {"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
+    ///  "wall_clock_ms":12.5,"workload_events":8,"queries_answered":4,
+    ///  "answer_epochs":160,"avg_synthetic_count":1.9,"avg_benefit_ratio":0.31,
+    ///  "optimizer":{"inserted":4,"terminated":4,"injections":2,"abortions":1,
+    ///               "absorbed_insertions":2,"absorbed_terminations":3},
+    ///  "metrics":{"avg_transmission_time_pct":0.41,"total_tx_busy_ms":1031.2,
+    ///             "total_rx_busy_ms":2222.1,"total_sleep_ms":0,
+    ///             "tx_count":{"result":320},"tx_bytes":{"result":9600},
+    ///             "retransmissions":0,"collisions":0,"losses":0,"gave_up":0,
+    ///             "samples":512,"horizon_ms":196608}}
+    /// ```
+    ///
+    /// `optimizer` is `null` for strategies without the base-station tier.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        json_str(&mut out, "workload", &self.workload);
+        out.push(',');
+        json_str(&mut out, "strategy", &self.strategy.to_string());
+        out.push(',');
+        json_num(&mut out, "grid_n", &self.grid_n.to_string());
+        out.push(',');
+        json_num(&mut out, "field_seed", &self.field_seed.to_string());
+        out.push(',');
+        json_num(&mut out, "wall_clock_ms", &json_f64(self.wall_clock_ms));
+        out.push(',');
+        json_num(
+            &mut out,
+            "workload_events",
+            &self.workload_events.to_string(),
+        );
+        out.push(',');
+        json_num(
+            &mut out,
+            "queries_answered",
+            &self.queries_answered.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "answer_epochs", &self.answer_epochs.to_string());
+        out.push(',');
+        json_num(
+            &mut out,
+            "avg_synthetic_count",
+            &json_f64(self.avg_synthetic_count),
+        );
+        out.push(',');
+        json_num(
+            &mut out,
+            "avg_benefit_ratio",
+            &json_f64(self.avg_benefit_ratio),
+        );
+        out.push_str(",\"optimizer\":");
+        match &self.optimizer {
+            None => out.push_str("null"),
+            Some(s) => {
+                out.push('{');
+                json_num(&mut out, "inserted", &s.inserted.to_string());
+                out.push(',');
+                json_num(&mut out, "terminated", &s.terminated.to_string());
+                out.push(',');
+                json_num(&mut out, "injections", &s.injections.to_string());
+                out.push(',');
+                json_num(&mut out, "abortions", &s.abortions.to_string());
+                out.push(',');
+                json_num(
+                    &mut out,
+                    "absorbed_insertions",
+                    &s.absorbed_insertions.to_string(),
+                );
+                out.push(',');
+                json_num(
+                    &mut out,
+                    "absorbed_terminations",
+                    &s.absorbed_terminations.to_string(),
+                );
+                out.push('}');
+            }
+        }
+        out.push_str(",\"metrics\":{");
+        let m = &self.metrics;
+        json_num(
+            &mut out,
+            "avg_transmission_time_pct",
+            &json_f64(m.avg_transmission_time_pct),
+        );
+        out.push(',');
+        json_num(&mut out, "total_tx_busy_ms", &json_f64(m.total_tx_busy_ms));
+        out.push(',');
+        json_num(&mut out, "total_rx_busy_ms", &json_f64(m.total_rx_busy_ms));
+        out.push(',');
+        json_num(&mut out, "total_sleep_ms", &json_f64(m.total_sleep_ms));
+        out.push_str(",\"tx_count\":{");
+        for (i, (kind, n)) in m.tx_count.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_num(&mut out, &kind.to_string(), &n.to_string());
+        }
+        out.push_str("},\"tx_bytes\":{");
+        for (i, (kind, n)) in m.tx_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_num(&mut out, &kind.to_string(), &n.to_string());
+        }
+        out.push_str("},");
+        json_num(&mut out, "retransmissions", &m.retransmissions.to_string());
+        out.push(',');
+        json_num(&mut out, "collisions", &m.collisions.to_string());
+        out.push(',');
+        json_num(&mut out, "losses", &m.losses.to_string());
+        out.push(',');
+        json_num(&mut out, "gave_up", &m.gave_up.to_string());
+        out.push(',');
+        json_num(&mut out, "samples", &m.samples.to_string());
+        out.push(',');
+        json_num(&mut out, "horizon_ms", &m.horizon_ms.to_string());
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One record per cell, in [`CampaignSpec::cells`] order regardless of
+    /// which thread finished first.
+    pub cells: Vec<CellRecord>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole campaign, ms.
+    pub wall_clock_ms: f64,
+}
+
+impl CampaignReport {
+    /// The record at the given sweep coordinates, if the campaign ran it.
+    pub fn cell(
+        &self,
+        workload: &str,
+        strategy: Strategy,
+        grid_n: usize,
+        field_seed: u64,
+    ) -> Option<&CellRecord> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.strategy == strategy
+                && c.grid_n == grid_n
+                && c.field_seed == field_seed
+        })
+    }
+
+    /// The whole report as JSON lines: one [`CellRecord::to_json`] object
+    /// per line, in cell order (the `BENCH_campaign.json` shape).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(&cell.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs one cell and wraps its results into a record.
+fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
+    let workload = &spec.workloads[cell.workload];
+    let config = cell.config(&spec.base);
+    let start = Instant::now();
+    let report = run_experiment(&config, &workload.events);
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
+    CellRecord {
+        workload: workload.name.clone(),
+        strategy: cell.strategy,
+        grid_n: cell.grid_n,
+        field_seed: cell.field_seed,
+        wall_clock_ms,
+        workload_events: workload.events.len(),
+        queries_answered: report.answers.len(),
+        answer_epochs: report.answers.values().map(Vec::len).sum(),
+        avg_synthetic_count: report.avg_synthetic_count,
+        avg_benefit_ratio: report.avg_benefit_ratio,
+        optimizer: report.optimizer_stats,
+        metrics: report.metrics.snapshot(),
+    }
+}
+
+/// Runs the campaign over one worker thread per available CPU.
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_campaign_with(spec, threads)
+}
+
+/// Runs the campaign on exactly one thread, in cell order — the oracle the
+/// parallel runner's determinism is tested against.
+pub fn run_campaign_sequential(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_with(spec, 1)
+}
+
+/// Runs the campaign over `threads` worker threads (clamped to `1..=cells`).
+///
+/// Workers pull cells from a shared atomic cursor, so scheduling is dynamic
+/// — a thread that drew a cheap 4×4 baseline cell moves on while another is
+/// still inside an 8×8 two-tier cell — but each record lands in its cell's
+/// slot, so the report order is the deterministic [`CampaignSpec::cells`]
+/// order no matter the interleaving.
+pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport {
+    let cells = spec.cells();
+    let started = Instant::now();
+    let threads = threads.clamp(1, cells.len().max(1));
+    let records: Vec<CellRecord> = if threads == 1 {
+        cells.iter().map(|cell| run_cell(spec, cell)).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CellRecord>>> = Mutex::new(vec![None; cells.len()]);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let record = run_cell(spec, cell);
+                    slots.lock().expect("no worker panicked holding the lock")[i] = Some(record);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+        slots
+            .into_inner()
+            .expect("workers have exited")
+            .into_iter()
+            .map(|r| r.expect("cursor visited every cell"))
+            .collect()
+    };
+    CampaignReport {
+        cells: records,
+        threads,
+        wall_clock_ms: started.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+/// Appends `"key":"escaped value"`.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key":value` with `value` already rendered as a JSON number (or
+/// `null`).
+fn json_num(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+/// Renders an f64 as a JSON number; non-finite values (which valid runs never
+/// produce) become `null` rather than invalid JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::FieldKind;
+    use ttmqo_query::{parse_query, QueryId};
+    use ttmqo_sim::{RadioParams, SimTime};
+
+    fn tiny_spec() -> CampaignSpec {
+        let workload = vec![
+            WorkloadEvent::pose(
+                0,
+                parse_query(
+                    QueryId(1),
+                    "select light where 100<light<600 epoch duration 2048",
+                )
+                .unwrap(),
+            ),
+            WorkloadEvent::pose(
+                0,
+                parse_query(
+                    QueryId(2),
+                    "select light where 200<light<500 epoch duration 4096",
+                )
+                .unwrap(),
+            ),
+        ];
+        let base = ExperimentConfig {
+            duration: SimTime::from_ms(10 * 2048),
+            radio: RadioParams::lossless(),
+            field: FieldKind::Uniform,
+            ..ExperimentConfig::default()
+        };
+        CampaignSpec::new(base)
+            .strategies([Strategy::Baseline, Strategy::TwoTier])
+            .grid_sizes([3])
+            .workload("tiny", workload)
+    }
+
+    #[test]
+    fn cells_expand_in_documented_order() {
+        let spec = tiny_spec()
+            .grid_sizes([3, 4])
+            .field_seeds([1, 2])
+            .workload("tiny2", Vec::new());
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.cell_count());
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        // Innermost axis is the strategy, outermost the workload.
+        assert_eq!(
+            (cells[0].workload, cells[0].grid_n, cells[0].field_seed),
+            (0, 3, 1)
+        );
+        assert_eq!(cells[0].strategy, Strategy::Baseline);
+        assert_eq!(cells[1].strategy, Strategy::TwoTier);
+        assert_eq!(cells[2].field_seed, 2);
+        assert_eq!(cells[4].grid_n, 4);
+        assert_eq!(cells[8].workload, 1);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn report_preserves_cell_order_and_counts() {
+        let spec = tiny_spec();
+        let report = run_campaign_with(&spec, 2);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].strategy, Strategy::Baseline);
+        assert_eq!(report.cells[1].strategy, Strategy::TwoTier);
+        for cell in &report.cells {
+            assert_eq!(cell.workload, "tiny");
+            assert_eq!(cell.workload_events, 2);
+            assert_eq!(cell.queries_answered, 2);
+            assert!(cell.answer_epochs > 0);
+            assert!(cell.avg_transmission_time_pct() > 0.0);
+            assert!(cell.wall_clock_ms >= 0.0);
+        }
+        // Only the two-tier cell carries optimizer stats.
+        assert!(report.cells[0].optimizer.is_none());
+        assert!(report.cells[1].optimizer.is_some());
+        let found = report
+            .cell("tiny", Strategy::TwoTier, 3, spec.base.field_seed)
+            .expect("lookup by coordinates");
+        assert_eq!(found.strategy, Strategy::TwoTier);
+        assert!(report.cell("tiny", Strategy::InNetOnly, 3, 0).is_none());
+    }
+
+    #[test]
+    fn jsonl_has_one_wellformed_record_per_cell() {
+        let report = run_campaign_with(&tiny_spec(), 2);
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"workload\":\"tiny\""));
+            assert!(line.contains("\"metrics\":{"));
+            assert!(line.contains("\"avg_transmission_time_pct\":"));
+            assert!(line.contains("\"tx_count\":{"));
+            // Balanced braces and quotes — cheap well-formedness checks that
+            // don't need a JSON parser.
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "unbalanced braces in {line}"
+            );
+            assert_eq!(line.matches('"').count() % 2, 0);
+            assert!(!line.contains("null") || line.contains("\"optimizer\":null"));
+        }
+        assert!(jsonl.contains("\"strategy\":\"baseline\""));
+        assert!(jsonl.contains("\"strategy\":\"two-tier\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        let mut out = String::new();
+        json_str(&mut out, "k", "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "\"k\":\"a\\\"b\\\\c\\nd\\u0001e\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn zero_workload_campaign_is_empty() {
+        let base = ExperimentConfig::default();
+        let spec = CampaignSpec::new(base);
+        assert_eq!(spec.cell_count(), 0);
+        let report = run_campaign_with(&spec, 4);
+        assert!(report.cells.is_empty());
+        assert_eq!(report.to_jsonl(), "");
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`run_experiment`] with [`Strategy`] — the four evaluation strategies
 //!   (baseline / BS-only / in-network-only / two-tier) over identical
 //!   workloads.
+//! * [`campaign`] — declarative sweeps over strategies × grid sizes × field
+//!   seeds × workloads, executed across a thread pool ([`run_campaign`])
+//!   with one JSON-lines observability record per run.
 //!
 //! # Quick example
 //!
@@ -42,12 +45,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod basestation;
+pub mod campaign;
 pub mod innetwork;
 mod runner;
 
 pub use basestation::{
     map_epoch_answer, map_epoch_answer_at, BaseStationOptimizer, CostModel, Demand, InsertError,
     NetworkOp, OptimizerOptions, OptimizerStats, SyntheticQuery, SYNTHETIC_ID_BASE,
+};
+pub use campaign::{
+    run_campaign, run_campaign_sequential, run_campaign_with, CampaignReport, CampaignSpec,
+    CampaignWorkload, CellRecord, CellSpec,
 };
 pub use innetwork::{DagState, PartialEntry, RowEntry, TtmqoApp, TtmqoConfig, TtmqoPayload};
 pub use runner::{

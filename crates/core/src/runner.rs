@@ -252,6 +252,11 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
         .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
     let mut events: Vec<WorkloadEvent> = workload.to_vec();
     events.sort_by_key(|e| e.at);
+    // The experiment ends at `duration`: an event scheduled at or past it
+    // can never affect anything observable, and replaying it would push the
+    // time-weighted accounting past the measured window (and underflow the
+    // `duration - last_event` interval).
+    events.retain(|e| e.at < config.duration);
 
     if config.strategy.uses_innetwork_tier() {
         let field = build_field(config, &topo);
@@ -281,6 +286,20 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
 /// each workload event, used to map synthetic answers back to users.
 type MappingSnapshot = BTreeMap<QueryId, (QueryId, Query, Query)>;
 
+/// The last entry of the time-sorted `timeline` whose timestamp is
+/// `<= at` — the snapshot in force at time `at`.
+///
+/// `timeline` must be sorted by timestamp (duplicates allowed; the latest
+/// duplicate wins, matching "state after all events at that instant").
+/// Binary search: the predicate `t <= at` is monotone over a sorted
+/// timeline, so `partition_point` finds the first entry *after* `at` and
+/// the one just before it is the answer. Replaces an O(n) reverse scan that
+/// made answer mapping O(outputs × snapshots) on long workloads.
+fn snapshot_at<T>(timeline: &[(u64, T)], at: u64) -> Option<&T> {
+    let first_after = timeline.partition_point(|(t, _)| *t <= at);
+    first_after.checked_sub(1).map(|idx| &timeline[idx].1)
+}
+
 fn drive<A>(
     config: &ExperimentConfig,
     topo: &Topology,
@@ -295,6 +314,12 @@ where
 
     // Identity bookkeeping for non-rewriting strategies.
     let mut live_users: BTreeMap<QueryId, Query> = BTreeMap::new();
+    // When each user query was terminated, ms. TinyDB labels an answer with
+    // its epoch's *start* time but emits it at the epoch's close, so an epoch
+    // can straddle a Terminate: the mapping snapshot at the epoch start still
+    // contains the user, yet by the time the answer exists the user is gone.
+    // Attribution must also check the answer's *arrival* time against this.
+    let mut terminated_at: BTreeMap<QueryId, u64> = BTreeMap::new();
 
     let mut snapshots: Vec<(u64, MappingSnapshot)> = Vec::new();
     let mut weighted_syn = 0.0;
@@ -362,6 +387,7 @@ where
             }
             (Some(opt), WorkloadAction::Terminate(qid)) => {
                 live_users.remove(&qid);
+                terminated_at.insert(qid, t.as_ms());
                 opt.terminate(qid)
             }
             (None, WorkloadAction::Pose(q)) => {
@@ -370,6 +396,7 @@ where
             }
             (None, WorkloadAction::Terminate(qid)) => {
                 live_users.remove(&qid);
+                terminated_at.insert(qid, t.as_ms());
                 vec![NetworkOp::Abort(qid)]
             }
         };
@@ -403,11 +430,21 @@ where
             answer,
         } = record.output;
         // Mapping in force at the answered epoch's start.
-        let Some((_, snap)) = snapshots.iter().rev().find(|(t, _)| *t <= epoch_ms) else {
+        let Some(snap) = snapshot_at(&snapshots, epoch_ms) else {
             continue;
         };
         for (uid, (syn_id, syn_q, user_q)) in snap {
             if *syn_id != qid {
+                continue;
+            }
+            // The epoch started while `uid` was live, but the answer is only
+            // emitted at the epoch's close — drop it if the user terminated
+            // in between. Answers arriving at the termination instant itself
+            // still belong to the user (it was live when they materialized).
+            if terminated_at
+                .get(uid)
+                .is_some_and(|&term_ms| record.time.as_ms() > term_ms)
+            {
                 continue;
             }
             let position_of = |node: u16| {
@@ -436,5 +473,73 @@ where
         avg_synthetic_count: weighted_syn / total,
         avg_benefit_ratio: weighted_ratio / total,
         optimizer_stats: optimizer.map(|o| o.stats()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::snapshot_at;
+
+    /// The reverse linear scan `snapshot_at` replaced; kept as the oracle.
+    fn naive<T>(timeline: &[(u64, T)], at: u64) -> Option<&T> {
+        timeline
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= at)
+            .map(|(_, v)| v)
+    }
+
+    #[test]
+    fn snapshot_at_empty_and_before_first() {
+        let timeline: Vec<(u64, char)> = vec![];
+        assert_eq!(snapshot_at(&timeline, 0), None);
+        let timeline = vec![(10, 'a')];
+        assert_eq!(snapshot_at(&timeline, 9), None);
+        assert_eq!(snapshot_at(&timeline, 10), Some(&'a'));
+        assert_eq!(snapshot_at(&timeline, u64::MAX), Some(&'a'));
+    }
+
+    #[test]
+    fn snapshot_at_duplicate_timestamps_take_the_latest() {
+        // Several workload events at the same instant push several snapshots
+        // with the same timestamp; the state after the last of them governs.
+        let timeline = vec![(5, 'a'), (5, 'b'), (5, 'c'), (9, 'd')];
+        assert_eq!(snapshot_at(&timeline, 5), Some(&'c'));
+        assert_eq!(snapshot_at(&timeline, 8), Some(&'c'));
+        assert_eq!(snapshot_at(&timeline, 9), Some(&'d'));
+    }
+
+    #[test]
+    fn snapshot_at_matches_reverse_scan_on_dense_timelines() {
+        // Regression for the O(outputs × snapshots) reverse scan: the binary
+        // search must pick exactly the snapshot the old code picked for every
+        // query time, on timelines shaped like real workloads — many events,
+        // bursts of identical timestamps (a pose and a terminate in the same
+        // ms), and gaps.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let mut t = 0u64;
+            let mut timeline = Vec::new();
+            for i in 0..500u64 {
+                // ~1/4 of events share the previous timestamp.
+                if i > 0 && next() % 4 != 0 {
+                    t += next() % 97;
+                }
+                timeline.push((t, i));
+            }
+            let horizon = t + 50;
+            for _ in 0..2000 {
+                let at = next() % horizon;
+                assert_eq!(snapshot_at(&timeline, at), naive(&timeline, at));
+            }
+            assert_eq!(snapshot_at(&timeline, 0), naive(&timeline, 0));
+            assert_eq!(snapshot_at(&timeline, u64::MAX), naive(&timeline, u64::MAX));
+        }
     }
 }

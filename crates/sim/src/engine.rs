@@ -480,6 +480,15 @@ impl<A: NodeApp> Simulator<A> {
                 }
                 EventKind::Fail { node } => {
                     self.failed[node.index()] = true;
+                    // A crash ends any ongoing nap; retract the unspent part
+                    // that was credited in full when the nap was planned, as
+                    // `Action::Wake` does. (A failed node draws no power, so
+                    // leaving the unspent nap credited would overstate sleep
+                    // time and understate idle-listening energy after
+                    // recovery.)
+                    let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
+                    self.metrics
+                        .record_sleep(node.index(), -(pending as f64) / 1000.0);
                     self.sleep_until_us[node.index()] = 0;
                 }
                 EventKind::Recover { node } => {

@@ -79,7 +79,7 @@ mod topology;
 pub use energy::EnergyProfile;
 pub use engine::{Ctx, NodeApp, OutputRecord, SimConfig, Simulator};
 pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorField, UniformField};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use radio::{Destination, MsgKind, RadioParams};
 pub use time::SimTime;
 pub use topology::{NodeId, Position, Topology, TopologyError, GRID_SPACING_FT, RADIO_RANGE_FT};

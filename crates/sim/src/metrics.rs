@@ -11,6 +11,10 @@ use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Largest sleep-accounting error attributable to f64 rounding of µs→ms
+/// conversions; anything more negative than this is a logic bug.
+const SLEEP_EPSILON_MS: f64 = 1e-6;
+
 /// Per-run accounting of radio and sensing activity.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -59,10 +63,23 @@ impl Metrics {
         self.rx_busy_ms[node] += busy_ms;
     }
 
-    /// Adjusts a node's accumulated sleep time (negative when an early wake
-    /// cancels part of a planned nap).
+    /// Adjusts a node's accumulated sleep time (negative when an early wake,
+    /// a nap re-plan, or a node failure cancels part of a planned nap).
+    ///
+    /// Every negative correction retracts part of a nap that was credited in
+    /// full when it was planned, so the running total can only dip below
+    /// zero through f64 rounding in the µs→ms conversions — never by a
+    /// material amount. A large negative correction would silently discard
+    /// sleep time and skew `avg_transmission_time_pct`'s energy companion
+    /// metrics, so it is asserted against instead of clamped away.
     pub(crate) fn record_sleep(&mut self, node: usize, ms: f64) {
-        self.sleep_ms[node] = (self.sleep_ms[node] + ms).max(0.0);
+        let updated = self.sleep_ms[node] + ms;
+        debug_assert!(
+            updated >= -SLEEP_EPSILON_MS,
+            "sleep accounting underflow on node {node}: {} ms adjusted by {ms} ms",
+            self.sleep_ms[node],
+        );
+        self.sleep_ms[node] = updated.max(0.0);
     }
 
     pub(crate) fn record_retransmission(&mut self) {
@@ -198,6 +215,73 @@ impl Metrics {
     pub fn horizon(&self) -> SimTime {
         self.horizon
     }
+
+    /// A cheap, plain-data summary of the current counters, suitable for
+    /// cross-thread collection and serialization. Per-node vectors are
+    /// reduced to totals; everything else is copied verbatim, so two
+    /// bit-identical runs yield `==` snapshots.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            avg_transmission_time_pct: self.avg_transmission_time_pct(),
+            total_tx_busy_ms: self.total_tx_busy_ms(),
+            total_rx_busy_ms: self.total_rx_busy_ms(),
+            total_sleep_ms: self.total_sleep_ms(),
+            tx_count: self.tx_count.clone(),
+            tx_bytes: self.tx_bytes.clone(),
+            retransmissions: self.retransmissions,
+            collisions: self.collisions,
+            losses: self.losses,
+            gave_up: self.gave_up,
+            samples: self.samples,
+            horizon_ms: self.horizon.as_ms(),
+        }
+    }
+}
+
+/// Plain-data summary of a run's [`Metrics`], cheap to clone across threads
+/// and to serialize into campaign reports.
+///
+/// Produced by [`Metrics::snapshot`]. Two runs with identical event streams
+/// produce `==` snapshots (f64 fields included: the simulation is
+/// deterministic down to the arithmetic, not just statistically).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The paper's headline metric (§4.1), percent.
+    pub avg_transmission_time_pct: f64,
+    /// Total transmitting time across all nodes, ms.
+    pub total_tx_busy_ms: f64,
+    /// Total receiving time across all nodes, ms.
+    pub total_rx_busy_ms: f64,
+    /// Total sleep time across all nodes, ms.
+    pub total_sleep_ms: f64,
+    /// Transmissions by message kind.
+    pub tx_count: BTreeMap<MsgKind, u64>,
+    /// Bytes transmitted by message kind (headers included).
+    pub tx_bytes: BTreeMap<MsgKind, u64>,
+    /// Retransmissions caused by loss or collision.
+    pub retransmissions: u64,
+    /// Frames corrupted by collisions, per receiver.
+    pub collisions: u64,
+    /// Frames dropped by the random loss model, per receiver.
+    pub losses: u64,
+    /// Unicast frames abandoned after exhausting retries.
+    pub gave_up: u64,
+    /// Sensor samples taken.
+    pub samples: u64,
+    /// End of the measured window, ms.
+    pub horizon_ms: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total number of transmissions of all kinds.
+    pub fn tx_count_total(&self) -> u64 {
+        self.tx_count.values().sum()
+    }
+
+    /// Total bytes transmitted, all kinds.
+    pub fn tx_bytes_total(&self) -> u64 {
+        self.tx_bytes.values().sum()
+    }
 }
 
 impl fmt::Display for Metrics {
@@ -269,6 +353,65 @@ mod tests {
         assert_eq!(m.losses(), 1);
         assert_eq!(m.gave_up(), 1);
         assert_eq!(m.samples(), 1);
+    }
+
+    #[test]
+    fn sleep_accumulates_and_retracts() {
+        let mut m = Metrics::new(2);
+        m.record_sleep(0, 500.0); // plan a 500 ms nap
+        m.record_sleep(0, -200.0); // early wake retracts the unspent 200 ms
+        m.record_sleep(1, 100.0);
+        assert!((m.node_sleep_ms(0) - 300.0).abs() < 1e-9);
+        assert!((m.total_sleep_ms() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_tolerates_rounding_epsilon() {
+        let mut m = Metrics::new(1);
+        m.record_sleep(0, 250.0);
+        // µs→ms double rounding can retract a hair more than was credited.
+        m.record_sleep(0, -250.0 - 1e-9);
+        assert_eq!(m.node_sleep_ms(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sleep accounting underflow")]
+    #[cfg(debug_assertions)]
+    fn sleep_underflow_is_a_bug() {
+        let mut m = Metrics::new(1);
+        m.record_sleep(0, 100.0);
+        // Retracting more than was ever credited is a logic error, not
+        // rounding; it must not be silently clamped away.
+        m.record_sleep(0, -500.0);
+    }
+
+    #[test]
+    fn snapshot_mirrors_counters() {
+        let mut m = Metrics::new(2);
+        m.record_tx(0, MsgKind::Result, 30, 100.0);
+        m.record_tx(1, MsgKind::Maintenance, 8, 50.0);
+        m.record_rx(0, 40.0);
+        m.record_sleep(1, 700.0);
+        m.record_retransmission();
+        m.record_loss();
+        m.record_sample();
+        m.set_horizon(SimTime::from_ms(1000));
+        let s = m.snapshot();
+        assert_eq!(s.avg_transmission_time_pct, m.avg_transmission_time_pct());
+        assert_eq!(s.total_tx_busy_ms, 150.0);
+        assert_eq!(s.total_rx_busy_ms, 40.0);
+        assert_eq!(s.total_sleep_ms, 700.0);
+        assert_eq!(s.tx_count[&MsgKind::Result], 1);
+        assert_eq!(s.tx_bytes[&MsgKind::Maintenance], 8);
+        assert_eq!(s.tx_count_total(), 2);
+        assert_eq!(s.tx_bytes_total(), 38);
+        assert_eq!(s.retransmissions, 1);
+        assert_eq!(s.losses, 1);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.horizon_ms, 1000);
+        // Snapshots of identical metric states compare equal.
+        assert_eq!(s, m.snapshot());
+        assert_ne!(s, Metrics::new(2).snapshot());
     }
 
     #[test]

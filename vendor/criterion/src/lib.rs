@@ -1,0 +1,127 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's `harness = false` benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] and [`criterion_main!`] —
+//! backed by a simple calibrated timing loop instead of criterion's
+//! statistical machinery. Each benchmark prints `name: median ns/iter` style
+//! output; there is no HTML report, warm-up phase configuration, or outlier
+//! analysis.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (all variants behave identically
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to registered benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters as u32
+        };
+        println!(
+            "bench {name}: {:>12.1} ns/iter ({} iters)",
+            per_iter.as_nanos() as f64,
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Runs the measured routine and accumulates timing.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET {
+                self.total = elapsed;
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= TARGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Registers benchmark functions under a group name, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

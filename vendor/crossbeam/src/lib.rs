@@ -1,0 +1,82 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread API is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The signatures mirror
+//! crossbeam 0.8: the scope closure and every spawned closure receive a
+//! `&Scope` they can spawn further work on, and `scope` returns a `Result`
+//! (always `Ok` here — as with `std::thread::scope`, a panic in an unjoined
+//! spawned thread propagates when the scope exits instead of being captured).
+
+pub use thread::scope;
+
+/// Scoped threads (stand-in for `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle threads are spawned on.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle joining one spawned thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// payload of its panic.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it can
+        /// spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope: all threads spawned inside are joined before it
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! deterministic mini property-testing engine implementing the subset of the
+//! proptest API its tests use: the [`proptest!`], [`prop_compose!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / [`Just`] /
+//! string-pattern strategies, and [`collection::vec`] /
+//! [`collection::btree_set`].
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case reports its inputs' case number only;
+//! * deterministic per-case seeding (no persistence; `*.proptest-regressions`
+//!   files are ignored);
+//! * string strategies implement just enough regex (`.`, a literal char
+//!   class, `{m,n}` repetition) for the patterns the workspace uses.
+//!
+//! The number of cases per property defaults to 256 and can be overridden
+//! with the `PROPTEST_CASES` environment variable or
+//! [`test_runner::Config::with_cases`].
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Re-export of the crate root under the name the proptest prelude uses
+/// (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The subset of `proptest::prelude` the workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Failure raised by `prop_assert!`-style macros; aborts the current case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case number `case`; the same case always sees the
+    /// same stream.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0x7072_6F70_7465_7374u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform draw from a range (integer or float).
+    pub fn sample<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.0.gen_range(range)
+    }
+
+    /// A random unicode scalar value, biased toward ASCII half the time to
+    /// exercise both paths of text-handling code.
+    pub fn sample_char(&mut self) -> char {
+        if self.0.gen_bool(0.5) {
+            self.0.gen_range(0x20u32..0x7F) as u8 as char
+        } else {
+            loop {
+                let v = self.0.gen_range(0u32..0x11_0000);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Runs all cases of one property, panicking on the first failure.
+///
+/// Used by the [`proptest!`] expansion; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases<F>(name: &str, config: &test_runner::Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for i in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(i);
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, failing the current case when
+/// the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                __l,
+                __r,
+                ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Chooses uniformly among the given strategies (all must yield the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::IntoBoxed::into_boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::run_cases(::std::stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::Strategy::new_value(&$strat, __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Defines a function returning a strategy built from other strategies, as in
+/// proptest's `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)(
+            $($arg:pat in $strat:expr),+ $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::new_value(&$strat, __rng);)+
+                $body
+            })
+        }
+    };
+}

@@ -1,0 +1,312 @@
+//! The [`Strategy`] trait and the combinators the workspace's property tests
+//! use.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from a [`TestRng`].
+///
+/// The upstream proptest trait also carries shrinking machinery; this
+/// vendored stand-in only generates.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy backed by a plain generation function; used by `prop_compose!`.
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    /// Wraps a generation function.
+    pub fn new(f: F) -> Self {
+        FnStrategy(f)
+    }
+}
+
+impl<T, F> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+trait Erased<T> {
+    fn erased_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> Erased<S::Value> for S {
+    fn erased_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy; what `prop_oneof!` arms are boxed into.
+pub struct BoxedStrategy<T>(Box<dyn Erased<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.erased_value(rng)
+    }
+}
+
+/// Conversion into [`BoxedStrategy`]; blanket-implemented for every strategy.
+pub trait IntoBoxed {
+    /// The generated value type.
+    type Value;
+
+    /// Boxes the strategy.
+    fn into_boxed(self) -> BoxedStrategy<Self::Value>;
+}
+
+impl<S: Strategy + 'static> IntoBoxed for S {
+    type Value = S::Value;
+
+    fn into_boxed(self) -> BoxedStrategy<S::Value> {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Uniform choice among boxed strategies; what `prop_oneof!` builds.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A uniform choice among `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.sample(0..self.arms.len());
+        self.arms[idx].new_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.sample(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// `&str` patterns act as string strategies, as in proptest's regex
+/// strategies. Supported subset: a single element — `.` (any char except
+/// newline), a literal character, or a `[abc]` class — followed by an
+/// optional `{m,n}` repetition. Anything else is treated as a literal
+/// string.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some((element, lo, hi)) => {
+                let len = rng.sample(lo..=hi);
+                (0..len).map(|_| element.sample(rng)).collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+enum Element {
+    AnyChar,
+    Literal(char),
+    Class(Vec<char>),
+}
+
+impl Element {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Element::AnyChar => loop {
+                let c = rng.sample_char();
+                if c != '\n' {
+                    return c;
+                }
+            },
+            Element::Literal(c) => *c,
+            Element::Class(chars) => chars[rng.sample(0..chars.len())],
+        }
+    }
+}
+
+/// Parses `<element>{m,n}` (or a bare element, meaning `{1,1}`); `None`
+/// means "not a supported pattern, treat as a literal".
+fn parse_pattern(pattern: &str) -> Option<(Element, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let element = match chars.next()? {
+        '.' => Element::AnyChar,
+        '[' => {
+            let mut class = Vec::new();
+            for c in chars.by_ref() {
+                if c == ']' {
+                    break;
+                }
+                class.push(c);
+            }
+            if class.is_empty() {
+                return None;
+            }
+            Element::Class(class)
+        }
+        c if c.is_alphanumeric() || c == ' ' => Element::Literal(c),
+        _ => return None,
+    };
+    match chars.peek() {
+        None => Some((element, 1, 1)),
+        Some('{') => {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            if chars.next().is_some() {
+                return None; // trailing garbage after `}`
+            }
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            };
+            (lo <= hi).then_some((element, lo, hi))
+        }
+        Some(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn dot_repetition_respects_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..50 {
+            let s = ".{0,200}".new_value(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_fall_back_to_literal() {
+        let mut rng = TestRng::for_case(1);
+        assert_eq!("select".new_value(&mut rng), "select");
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let strat = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::for_case(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (1u64..=4).prop_map(|n| n * 2048);
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..50 {
+            let v = strat.new_value(&mut rng);
+            assert_eq!(v % 2048, 0);
+            assert!((2048..=8192).contains(&v));
+        }
+    }
+}

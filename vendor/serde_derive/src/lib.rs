@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate's `Serialize`/`Deserialize` are marker traits
+//! with blanket implementations, so the derives only need to *exist* for
+//! `#[derive(Serialize, Deserialize)]` attributes to compile — they expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for the vendored `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
