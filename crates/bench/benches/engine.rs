@@ -1,0 +1,68 @@
+//! Engine hot-path microbenchmark: transmit/deliver throughput and frame-slab
+//! footprint, with regression tracking against the previous run.
+//!
+//! Writes `BENCH_engine.json` (JSON lines, one record per scenario). If a
+//! previous report exists it is read first and the events/sec delta per
+//! scenario is printed, so perf regressions in the engine show up as a
+//! negative column rather than a silent drift.
+//!
+//! `ENGINE_BENCH_SCALE=smoke` shrinks the simulated duration for CI smoke
+//! runs (the numbers still land in the report, labelled by the same scenario
+//! names).
+
+use ttmqo_bench::{
+    engine_microbench, parse_prior_report, print_table, EngineBenchParams, ENGINE_REPORT_FILE,
+};
+
+fn main() {
+    let smoke = std::env::var("ENGINE_BENCH_SCALE").as_deref() == Ok("smoke");
+    // Full scale: 10 simulated minutes per scenario (sub-second wall each);
+    // smoke: enough simulated time to exercise retries and collisions while
+    // staying trivial for CI.
+    let duration_ms = if smoke { 30_000 } else { 600_000 };
+    let prior = std::fs::read_to_string(ENGINE_REPORT_FILE)
+        .map(|text| parse_prior_report(&text))
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    for params in EngineBenchParams::default_scenarios(duration_ms) {
+        let r = engine_microbench(&params);
+        let delta = prior
+            .iter()
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, prev_eps)| format!("{:+.1}%", 100.0 * (r.events_per_sec / prev_eps - 1.0)))
+            .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            r.name.clone(),
+            (r.grid_n * r.grid_n).to_string(),
+            format!("{:.4}", r.wall_s),
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            delta,
+            r.stats.frame_slab_high_water.to_string(),
+            r.stats.csma_capped_deferrals.to_string(),
+        ]);
+        lines.push(r.to_json());
+    }
+    print_table(
+        "Engine microbench — transmit/deliver hot path",
+        &[
+            "scenario",
+            "nodes",
+            "wall s",
+            "events",
+            "events/s",
+            "vs prior",
+            "slab high-water",
+            "csma caps",
+        ],
+        &rows,
+    );
+
+    let report = lines.join("\n") + "\n";
+    match std::fs::write(ENGINE_REPORT_FILE, report) {
+        Ok(()) => eprintln!("wrote {} records to {ENGINE_REPORT_FILE}", lines.len()),
+        Err(e) => eprintln!("could not write {ENGINE_REPORT_FILE}: {e}"),
+    }
+}

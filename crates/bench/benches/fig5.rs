@@ -2,36 +2,50 @@
 //! predicate selectivity for three query mixes (100% acquisition, 50/50,
 //! 100% aggregation), 8 concurrent queries on the 4×4 grid.
 //!
+//! The whole 3 × 5 sweep is one [`fig5_campaign`] — 30 cells executed in
+//! parallel by the campaign runner, then read back in figure order.
+//!
 //! Paper reference shapes: savings grow with selectivity for every mix;
 //! 100% acquisition at selectivity 1 saves ≈89.7% (vs. the theoretical 7/8,
 //! because fewer messages also mean fewer collisions and retransmissions);
 //! 100% aggregation jumps sharply at selectivity 1 (identical predicates are
 //! the only case tier 1 can merge, and equal partials share frames).
 
-use ttmqo_bench::{fig5_savings, print_table};
+use ttmqo_bench::{fig5_campaign, fig5_points, print_table};
+use ttmqo_core::run_campaign;
 
 const DURATION_EPOCHS: u64 = 96;
+const MIXES: [f64; 3] = [0.0, 0.5, 1.0];
+const SELECTIVITIES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
 
 fn main() {
+    let spec = fig5_campaign(&MIXES, &SELECTIVITIES, DURATION_EPOCHS, 7);
+    let report = run_campaign(&spec);
     let mut rows = Vec::new();
-    for (mix_label, agg_fraction) in [
-        ("100% acquisition", 0.0),
-        ("50% acq / 50% agg", 0.5),
-        ("100% aggregation", 1.0),
-    ] {
-        for selectivity in [0.2, 0.4, 0.6, 0.8, 1.0] {
-            let p = fig5_savings(agg_fraction, selectivity, DURATION_EPOCHS, 7);
-            rows.push(vec![
-                mix_label.to_string(),
-                format!("{selectivity:.1}"),
-                format!("{:.4}", p.baseline_tx_pct),
-                format!("{:.4}", p.ttmqo_tx_pct),
-                format!("{:.1}%", p.savings_pct()),
-            ]);
-        }
+    for (p, mix_label) in fig5_points(&report, &MIXES, &SELECTIVITIES)
+        .into_iter()
+        .zip(
+            ["100% acquisition", "50% acq / 50% agg", "100% aggregation"]
+                .into_iter()
+                .flat_map(|m| std::iter::repeat_n(m, SELECTIVITIES.len())),
+        )
+    {
+        rows.push(vec![
+            mix_label.to_string(),
+            format!("{:.1}", p.selectivity),
+            format!("{:.4}", p.baseline_tx_pct),
+            format!("{:.4}", p.ttmqo_tx_pct),
+            format!("{:.1}%", p.savings_pct()),
+        ]);
     }
     print_table(
-        "Figure 5 — transmission-time savings vs predicate selectivity (8 queries, 16 nodes)",
+        &format!(
+            "Figure 5 — transmission-time savings vs predicate selectivity \
+             (8 queries, 16 nodes; {} cells on {} threads in {:.1} s)",
+            report.cells.len(),
+            report.threads,
+            report.wall_clock_ms / 1000.0
+        ),
         &[
             "mix",
             "selectivity",

@@ -1,7 +1,13 @@
 //! Harness for Figure 5: transmission-time savings vs. predicate
 //! selectivity, for different acquisition/aggregation mixes.
+//!
+//! The sweep runs as one [`CampaignSpec`]: every `(mix, selectivity)` pair
+//! becomes a named campaign workload (its events generated up front by
+//! [`selectivity_workload`]), crossed with {baseline, two-tier} on the 4×4
+//! grid. [`run_campaign`] then executes all cells in parallel and
+//! [`fig5_points`] reads the figure back out of the report.
 
-use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
+use ttmqo_core::{run_campaign, CampaignReport, CampaignSpec, ExperimentConfig, Strategy};
 use ttmqo_sim::SimTime;
 use ttmqo_workloads::{selectivity_workload, SelectivityWorkloadParams};
 
@@ -29,44 +35,100 @@ impl Fig5Point {
     }
 }
 
+/// Campaign-workload name of the Figure 5 cell at the given coordinates.
+pub fn fig5_cell_name(aggregation_fraction: f64, selectivity: f64) -> String {
+    format!("agg{aggregation_fraction:.2}-sel{selectivity:.2}")
+}
+
+/// Builds the Figure 5 sweep as one campaign: the cross product of the given
+/// mixes and selectivities, each pair's 8-query workload generated here and
+/// attached to the spec under [`fig5_cell_name`], × {baseline, two-tier} on
+/// the 4×4 grid.
+pub fn fig5_campaign(
+    mixes: &[f64],
+    selectivities: &[f64],
+    duration_epochs: u64,
+    seed: u64,
+) -> CampaignSpec {
+    let base = ExperimentConfig {
+        duration: SimTime::from_ms(duration_epochs * 2048),
+        ..ExperimentConfig::default()
+    };
+    let mut spec = CampaignSpec::new(base)
+        .strategies([Strategy::Baseline, Strategy::TwoTier])
+        .grid_sizes([4]);
+    for &aggregation_fraction in mixes {
+        for &selectivity in selectivities {
+            let events = selectivity_workload(&SelectivityWorkloadParams {
+                aggregation_fraction,
+                selectivity,
+                seed,
+                ..SelectivityWorkloadParams::default()
+            });
+            spec = spec.workload(fig5_cell_name(aggregation_fraction, selectivity), events);
+        }
+    }
+    spec
+}
+
+/// Reads the Figure 5 points back out of a report produced by running
+/// [`fig5_campaign`] over the same mixes and selectivities, in mix-major,
+/// selectivity-minor order.
+///
+/// # Panics
+///
+/// Panics if the report is missing a cell of the sweep (it was produced from
+/// a different spec).
+pub fn fig5_points(
+    report: &CampaignReport,
+    mixes: &[f64],
+    selectivities: &[f64],
+) -> Vec<Fig5Point> {
+    let tx_pct = |name: &str, strategy: Strategy| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.workload == name && c.strategy == strategy)
+            .unwrap_or_else(|| panic!("report is missing cell {name}/{strategy}"))
+            .avg_transmission_time_pct()
+    };
+    let mut points = Vec::with_capacity(mixes.len() * selectivities.len());
+    for &aggregation_fraction in mixes {
+        for &selectivity in selectivities {
+            let name = fig5_cell_name(aggregation_fraction, selectivity);
+            points.push(Fig5Point {
+                aggregation_fraction,
+                selectivity,
+                baseline_tx_pct: tx_pct(&name, Strategy::Baseline),
+                ttmqo_tx_pct: tx_pct(&name, Strategy::TwoTier),
+            });
+        }
+    }
+    points
+}
+
 /// Measures one Figure 5 point: 8 concurrent queries of the given mix and
-/// selectivity on the 4×4 grid, baseline vs. the full TTMQO scheme.
+/// selectivity on the 4×4 grid, baseline vs. the full TTMQO scheme. A thin
+/// wrapper over a single-pair [`fig5_campaign`].
 pub fn fig5_savings(
     aggregation_fraction: f64,
     selectivity: f64,
     duration_epochs: u64,
     seed: u64,
 ) -> Fig5Point {
-    let workload = selectivity_workload(&SelectivityWorkloadParams {
-        aggregation_fraction,
-        selectivity,
-        seed,
-        ..SelectivityWorkloadParams::default()
-    });
-    let mut tx = [0.0f64; 2];
-    for (i, strategy) in [Strategy::Baseline, Strategy::TwoTier]
-        .into_iter()
-        .enumerate()
-    {
-        let config = ExperimentConfig {
-            strategy,
-            grid_n: 4,
-            duration: SimTime::from_ms(duration_epochs * 2048),
-            ..ExperimentConfig::default()
-        };
-        tx[i] = run_experiment(&config, &workload).avg_transmission_time_pct();
-    }
-    Fig5Point {
-        aggregation_fraction,
-        selectivity,
-        baseline_tx_pct: tx[0],
-        ttmqo_tx_pct: tx[1],
-    }
+    let mixes = [aggregation_fraction];
+    let selectivities = [selectivity];
+    let spec = fig5_campaign(&mixes, &selectivities, duration_epochs, seed);
+    let report = run_campaign(&spec);
+    fig5_points(&report, &mixes, &selectivities)
+        .pop()
+        .expect("single-pair sweep has exactly one point")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ttmqo_core::run_campaign_with;
 
     #[test]
     fn savings_grow_with_selectivity_for_acquisition() {
@@ -96,5 +158,33 @@ mod tests {
             "8 identical MAX queries must share heavily: {:.1}%",
             p.savings_pct()
         );
+    }
+
+    #[test]
+    fn campaign_covers_the_sweep_and_points_read_back() {
+        let mixes = [0.0, 1.0];
+        let selectivities = [0.5, 1.0];
+        let spec = fig5_campaign(&mixes, &selectivities, 16, 3);
+        // 4 workloads × 1 grid × 1 seed × 2 strategies.
+        assert_eq!(spec.cell_count(), 8);
+        assert!(spec
+            .workloads
+            .iter()
+            .any(|w| w.name == fig5_cell_name(1.0, 0.5)));
+        let report = run_campaign_with(&spec, 2);
+        let points = fig5_points(&report, &mixes, &selectivities);
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            (points[0].aggregation_fraction, points[0].selectivity),
+            (0.0, 0.5)
+        );
+        assert_eq!(
+            (points[3].aggregation_fraction, points[3].selectivity),
+            (1.0, 1.0)
+        );
+        for p in &points {
+            assert!(p.baseline_tx_pct > 0.0);
+            assert!(p.ttmqo_tx_pct > 0.0);
+        }
     }
 }

@@ -9,16 +9,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod engine;
 pub mod fig2;
 pub mod fig34;
 pub mod fig5;
 pub mod table;
 
 pub use campaign::{paper_campaign, write_report, CAMPAIGN_REPORT_FILE};
+pub use engine::{
+    engine_microbench, parse_prior_report, EngineBenchParams, EngineBenchResult, ENGINE_REPORT_FILE,
+};
 pub use fig2::{fig2_counts, Fig2Counts};
 pub use fig34::{
     fig3_campaign, fig3_matrix, optimizer_sweep, optimizer_sweep_with, Fig3Cell, OptimizerSweep,
     FIG3_DURATION_EPOCHS,
 };
-pub use fig5::{fig5_savings, Fig5Point};
+pub use fig5::{fig5_campaign, fig5_cell_name, fig5_points, fig5_savings, Fig5Point};
 pub use table::print_table;

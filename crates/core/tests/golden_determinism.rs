@@ -1,0 +1,95 @@
+//! Golden determinism test: a small Workload-A cell must produce a
+//! `MetricsSnapshot` bit-identical to the checked-in snapshot, on both the
+//! baseline and the two-tier strategy.
+//!
+//! The golden file was generated from the engine as of PR 1 (before the
+//! hot-path rewrite that introduced payload `Arc`-sharing and the frame
+//! slab), so a passing run proves engine-internal memory optimizations do
+//! not change simulated behaviour — not statistically, but down to the last
+//! bit of every f64 counter. Regenerate only for *intentional* behaviour
+//! changes: `UPDATE_GOLDEN=1 cargo test -p ttmqo-core --test
+//! golden_determinism`.
+
+use std::fmt::Write as _;
+use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
+use ttmqo_sim::{MetricsSnapshot, SimTime};
+use ttmqo_workloads::workload_a;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/workload_a_metrics.golden"
+);
+
+/// Renders a snapshot canonically, one `key=value` line per counter. Floats
+/// use Rust's shortest-roundtrip formatting, so equal strings ⇔ equal bits.
+fn render(strategy: Strategy, snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "[{strategy}]").unwrap();
+    writeln!(
+        w,
+        "avg_transmission_time_pct={}",
+        snap.avg_transmission_time_pct
+    )
+    .unwrap();
+    writeln!(w, "total_tx_busy_ms={}", snap.total_tx_busy_ms).unwrap();
+    writeln!(w, "total_rx_busy_ms={}", snap.total_rx_busy_ms).unwrap();
+    writeln!(w, "total_sleep_ms={}", snap.total_sleep_ms).unwrap();
+    for (kind, n) in &snap.tx_count {
+        writeln!(w, "tx_count.{kind}={n}").unwrap();
+    }
+    for (kind, n) in &snap.tx_bytes {
+        writeln!(w, "tx_bytes.{kind}={n}").unwrap();
+    }
+    writeln!(w, "retransmissions={}", snap.retransmissions).unwrap();
+    writeln!(w, "collisions={}", snap.collisions).unwrap();
+    writeln!(w, "losses={}", snap.losses).unwrap();
+    writeln!(w, "gave_up={}", snap.gave_up).unwrap();
+    writeln!(w, "samples={}", snap.samples).unwrap();
+    writeln!(w, "horizon_ms={}", snap.horizon_ms).unwrap();
+    out
+}
+
+fn golden_cell(strategy: Strategy) -> MetricsSnapshot {
+    // Workload A on the paper's 4×4 grid with the default radio (collisions
+    // and retries on), long enough for floods, epochs, retransmissions and
+    // terminations to all occur.
+    let config = ExperimentConfig {
+        strategy,
+        grid_n: 4,
+        duration: SimTime::from_ms(24 * 2048),
+        ..ExperimentConfig::default()
+    };
+    run_experiment(&config, &workload_a()).metrics.snapshot()
+}
+
+#[test]
+fn workload_a_metrics_match_golden_snapshot() {
+    let mut rendered = String::new();
+    for strategy in [Strategy::Baseline, Strategy::TwoTier] {
+        rendered.push_str(&render(strategy, &golden_cell(strategy)));
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, &rendered).unwrap();
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot checked in at tests/golden/workload_a_metrics.golden");
+    assert_eq!(
+        rendered, golden,
+        "MetricsSnapshot diverged from the golden Workload-A cell: the \
+         engine's simulated behaviour changed (set UPDATE_GOLDEN=1 only if \
+         the change is intentional)"
+    );
+}
+
+#[test]
+fn golden_cell_is_reproducible_within_a_process() {
+    // The cheaper invariant behind the golden file: two in-process runs of
+    // the same cell agree bit-for-bit.
+    let a = golden_cell(Strategy::TwoTier);
+    let b = golden_cell(Strategy::TwoTier);
+    assert_eq!(a, b);
+}

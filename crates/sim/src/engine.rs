@@ -15,6 +15,31 @@
 //! * sleep mode — a sleeping node receives nothing until it wakes.
 //!
 //! Everything is deterministic given the seed.
+//!
+//! # Hot-path memory design
+//!
+//! The transmit/deliver loop is what every campaign cell replays thousands
+//! of epochs through, so its steady state is allocation-free and its memory
+//! bounded by *in-flight* frames, not total transmissions:
+//!
+//! * payloads are stored once per transmission behind an [`Arc`]; a
+//!   broadcast delivered to k neighbours clones k reference counts, never
+//!   k payloads (retransmissions share the same allocation too);
+//! * frame state lives in a slab with a free list — a slot is recycled as
+//!   soon as the last scheduled delivery of its frame has fired, so slab
+//!   length equals the high-water mark of concurrently in-flight frames
+//!   (see [`EngineStats::frame_slab_high_water`]);
+//! * the CSMA carrier-sense scan and the per-callback action queue reuse
+//!   per-engine scratch buffers instead of allocating per transmit/callback,
+//!   and delivery fan-out iterates the topology's neighbour slice in place
+//!   rather than copying it;
+//! * one `Deliver` event covers a frame's whole fan-out (receivers are
+//!   walked in neighbour order when it fires — provably the order the
+//!   per-receiver events popped in), dividing event-queue traffic by the
+//!   fan-out factor;
+//! * collision markers live on the frame itself (a list bounded by the
+//!   fan-out, capacity recycled with the slab slot) instead of a global
+//!   hash set, so the transmit/delivery paths do no hashing.
 
 use crate::field::SensorField;
 use crate::metrics::Metrics;
@@ -22,8 +47,9 @@ use crate::radio::{Destination, MsgKind, RadioParams};
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt::Debug;
+use std::sync::Arc;
 use ttmqo_query::Attribute;
 
 /// Behaviour of one node (including the base station, which is node 0).
@@ -83,7 +109,8 @@ pub struct Ctx<'a, P, O> {
     field: &'a dyn SensorField,
     metrics: &'a mut Metrics,
     outputs: &'a mut Vec<OutputRecord<O>>,
-    actions: Vec<Action<P>>,
+    /// Engine-owned scratch, drained and reused across callbacks.
+    actions: &'a mut Vec<Action<P>>,
     rng_state: &'a mut u64,
 }
 
@@ -128,12 +155,22 @@ impl<'a, P, O> Ctx<'a, P, O> {
     /// the radio adds its header. The frame occupies this node's channel for
     /// `C_start + C_trans·len` and reaches in-range recipients when the
     /// transmission completes.
-    pub fn send(&mut self, dest: Destination, kind: MsgKind, payload_bytes: usize, payload: P) {
+    ///
+    /// The payload is stored once behind an [`Arc`] however many receivers
+    /// the frame reaches; an app re-sending the same payload may pass an
+    /// `Arc<P>` directly to share the allocation across transmissions.
+    pub fn send(
+        &mut self,
+        dest: Destination,
+        kind: MsgKind,
+        payload_bytes: usize,
+        payload: impl Into<Arc<P>>,
+    ) {
         self.actions.push(Action::Send {
             dest,
             kind,
             payload_bytes,
-            payload,
+            payload: payload.into(),
         });
     }
 
@@ -188,7 +225,7 @@ enum Action<P> {
         dest: Destination,
         kind: MsgKind,
         payload_bytes: usize,
-        payload: P,
+        payload: Arc<P>,
     },
     SetTimer {
         delay_ms: u64,
@@ -206,10 +243,14 @@ enum EventKind<C> {
         node: NodeId,
         key: u64,
     },
+    /// All deliveries of one frame. The per-receiver deliveries of a frame
+    /// always popped back-to-back in neighbour order under the old
+    /// one-event-per-receiver scheme (their seqs were contiguous at the same
+    /// `end_us`, so nothing could interleave), so a single event iterating
+    /// receivers in that order is observationally identical — and cuts heap
+    /// traffic by the fan-out factor.
     Deliver {
         frame: usize,
-        receiver: NodeId,
-        intended: bool,
     },
     Command {
         node: NodeId,
@@ -250,17 +291,25 @@ impl<C> Ord for Event<C> {
     }
 }
 
+/// One in-flight transmission, stored in the frame slab. The slot is
+/// recycled once the frame's `Deliver` event has fired (or immediately, if
+/// nothing is in range).
 #[derive(Debug)]
 struct FrameState<P> {
     src: NodeId,
     dest: Destination,
     kind: MsgKind,
     payload_bytes: usize,
-    /// `None` for engine-generated maintenance beacons.
-    payload: Option<P>,
+    /// `None` for engine-generated maintenance beacons. Shared (not cloned)
+    /// across the frame's receivers and retransmissions.
+    payload: Option<Arc<P>>,
     start_us: u64,
     end_us: u64,
     retries_left: u32,
+    /// Receivers at which this frame was corrupted by a collision. Bounded
+    /// by the fan-out, cleared when the slot is released (so a recycled slot
+    /// cannot inherit markers), capacity recycled with the slot.
+    corrupted: Vec<NodeId>,
 }
 
 /// Engine-level configuration beyond the radio itself.
@@ -286,6 +335,31 @@ impl Default for SimConfig {
     }
 }
 
+/// Counters describing the engine's own hot-path behaviour (as opposed to
+/// the simulated network's [`Metrics`]). Exposed for benchmarks and
+/// regression tracking via [`Simulator::engine_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Events popped from the queue so far (timers, deliveries, commands,
+    /// maintenance, failures).
+    pub events_processed: u64,
+    /// Frames ever put on the air (slab allocations, including recycled
+    /// slots).
+    pub frames_total: u64,
+    /// Current slab length — the peak number of concurrently in-flight
+    /// frames so far, since slots are recycled before the slab grows.
+    pub frame_slab_len: usize,
+    /// High-water mark of the slab (equals `frame_slab_len`; kept separate
+    /// so reports stay meaningful if the slab ever learns to shrink).
+    pub frame_slab_high_water: usize,
+    /// Frames currently in flight (allocated slots minus free list).
+    pub frames_in_flight: usize,
+    /// Transmissions whose carrier-sense loop hit the deferral budget
+    /// (`RadioParams::csma_max_deferrals`) and fell through to
+    /// transmit-with-collision.
+    pub csma_capped_deferrals: u64,
+}
+
 /// Factory building a node's application, used at start and on reboot.
 type AppFactory<A> = Box<dyn FnMut(NodeId, &Topology) -> A + Send>;
 
@@ -308,19 +382,30 @@ pub struct Simulator<A: NodeApp> {
     metrics: Metrics,
     outputs: Vec<OutputRecord<A::Output>>,
     queue: BinaryHeap<Reverse<Event<A::Command>>>,
+    /// Frame slab: slots are recycled through `free_frames` once all of a
+    /// frame's deliveries have fired, so `frames.len()` tracks peak
+    /// in-flight frames rather than total transmissions.
     frames: Vec<FrameState<A::Payload>>,
+    /// Indices of free slots in `frames`.
+    free_frames: Vec<usize>,
+    /// Reused by `dispatch_callback` for every [`Ctx`]'s action queue.
+    action_scratch: Vec<Action<A::Payload>>,
+    /// Reused by `transmit`'s carrier-sense scan.
+    csma_scratch: Vec<(u64, u64)>,
     /// Per-node earliest time the transmitter is free, µs.
     tx_ready_at_us: Vec<u64>,
     /// Per-node sleep deadline, µs (0 = awake).
     sleep_until_us: Vec<u64>,
     /// Per-node in-flight incoming frames `(start_us, end_us, frame_idx)`.
     incoming: Vec<Vec<(u64, u64, usize)>>,
-    /// Frames corrupted at a given receiver by a collision.
-    corrupted: HashSet<(usize, NodeId)>,
     now_us: u64,
     seq: u64,
     rng_state: u64,
     started: bool,
+    events_processed: u64,
+    frames_total: u64,
+    slab_high_water: usize,
+    csma_capped: u64,
 }
 
 impl<A: NodeApp> Simulator<A> {
@@ -346,14 +431,20 @@ impl<A: NodeApp> Simulator<A> {
             outputs: Vec::new(),
             queue: BinaryHeap::new(),
             frames: Vec::new(),
+            free_frames: Vec::new(),
+            action_scratch: Vec::new(),
+            csma_scratch: Vec::new(),
             tx_ready_at_us: vec![0; n],
             sleep_until_us: vec![0; n],
             incoming: vec![Vec::new(); n],
-            corrupted: HashSet::new(),
             now_us: 0,
             seq: 0,
             rng_state,
             started: false,
+            events_processed: 0,
+            frames_total: 0,
+            slab_high_water: 0,
+            csma_capped: 0,
             topology,
             radio,
             config,
@@ -369,6 +460,19 @@ impl<A: NodeApp> Simulator<A> {
     /// Accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Engine hot-path counters: events processed, frame-slab occupancy and
+    /// high-water mark, carrier-sense cap hits.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            events_processed: self.events_processed,
+            frames_total: self.frames_total,
+            frame_slab_len: self.frames.len(),
+            frame_slab_high_water: self.slab_high_water,
+            frames_in_flight: self.frames.len() - self.free_frames.len(),
+            csma_capped_deferrals: self.csma_capped,
+        }
     }
 
     /// Records emitted by nodes so far.
@@ -429,6 +533,42 @@ impl<A: NodeApp> Simulator<A> {
         }));
     }
 
+    /// Takes a slab slot for `frame`, recycling a free one if possible.
+    fn alloc_frame(&mut self, frame: FrameState<A::Payload>) -> usize {
+        self.frames_total += 1;
+        match self.free_frames.pop() {
+            Some(idx) => {
+                // Field-wise assignment keeps the slot's corruption-list
+                // capacity alive across reuse (`frame.corrupted` is a fresh
+                // empty Vec that never allocated).
+                let slot = &mut self.frames[idx];
+                debug_assert!(slot.corrupted.is_empty(), "recycled slot has markers");
+                slot.src = frame.src;
+                slot.dest = frame.dest;
+                slot.kind = frame.kind;
+                slot.payload_bytes = frame.payload_bytes;
+                slot.payload = frame.payload;
+                slot.start_us = frame.start_us;
+                slot.end_us = frame.end_us;
+                slot.retries_left = frame.retries_left;
+                idx
+            }
+            None => {
+                self.frames.push(frame);
+                self.slab_high_water = self.slab_high_water.max(self.frames.len());
+                self.frames.len() - 1
+            }
+        }
+    }
+
+    /// Returns a slot whose deliveries have all fired to the free list. The
+    /// payload `Arc` is dropped now; the slot struct itself is reused.
+    fn release_frame(&mut self, idx: usize) {
+        self.frames[idx].payload = None;
+        self.frames[idx].corrupted.clear();
+        self.free_frames.push(idx);
+    }
+
     /// Runs the simulation until `t_end` (inclusive of events at `t_end`).
     ///
     /// The first call invokes every node's [`NodeApp::on_start`] and arms the
@@ -460,6 +600,7 @@ impl<A: NodeApp> Simulator<A> {
             }
             let Reverse(ev) = self.queue.pop().expect("peeked event exists");
             self.now_us = ev.time_us;
+            self.events_processed += 1;
             match ev.kind {
                 EventKind::Timer { node, key } => {
                     if !self.failed[node.index()] {
@@ -471,12 +612,8 @@ impl<A: NodeApp> Simulator<A> {
                         self.dispatch_callback(node, Callback::Command(cmd));
                     }
                 }
-                EventKind::Deliver {
-                    frame,
-                    receiver,
-                    intended,
-                } => {
-                    self.handle_delivery(frame, receiver, intended);
+                EventKind::Deliver { frame } => {
+                    self.handle_delivery(frame);
                 }
                 EventKind::Fail { node } => {
                     self.failed[node.index()] = true;
@@ -537,7 +674,12 @@ impl<A: NodeApp> Simulator<A> {
     }
 
     fn dispatch_callback(&mut self, node: NodeId, cb: Callback<A::Command, A::Payload>) {
-        let actions = {
+        // The action queue is engine-owned scratch: taken for the duration
+        // of the callback, drained, and put back — one allocation for the
+        // whole run instead of one per sending callback.
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        debug_assert!(actions.is_empty());
+        {
             let app = &mut self.nodes[node.index()];
             let mut ctx = Ctx {
                 node,
@@ -546,7 +688,7 @@ impl<A: NodeApp> Simulator<A> {
                 field: self.field.as_ref(),
                 metrics: &mut self.metrics,
                 outputs: &mut self.outputs,
-                actions: Vec::new(),
+                actions: &mut actions,
                 rng_state: &mut self.rng_state,
             };
             match cb {
@@ -566,9 +708,8 @@ impl<A: NodeApp> Simulator<A> {
                     }
                 }
             }
-            ctx.actions
-        };
-        for action in actions {
+        }
+        for action in actions.drain(..) {
             match action {
                 Action::Send {
                     dest,
@@ -607,6 +748,7 @@ impl<A: NodeApp> Simulator<A> {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 
     fn is_asleep(&self, node: NodeId) -> bool {
@@ -621,7 +763,7 @@ impl<A: NodeApp> Simulator<A> {
         dest: Destination,
         kind: MsgKind,
         payload_bytes: usize,
-        payload: Option<A::Payload>,
+        payload: Option<Arc<A::Payload>>,
         earliest_us: u64,
         retries_left: u32,
     ) {
@@ -635,141 +777,189 @@ impl<A: NodeApp> Simulator<A> {
             // CSMA: carrier-sense at the sender — defer past any frame
             // currently audible here, plus a short random inter-frame gap.
             // Hidden terminals (senders out of each other's range colliding
-            // at a common receiver) remain possible, as on real motes.
-            let mut audible: Vec<(u64, u64)> = self.incoming[src.index()]
-                .iter()
-                .map(|&(s, e, _)| (s, e))
-                .collect();
+            // at a common receiver) remain possible, as on real motes. The
+            // deferral budget (`RadioParams::csma_max_deferrals`) bounds the
+            // loop under pathological backlogs.
+            let cap = self.radio.csma_max_deferrals;
+            let mut audible = std::mem::take(&mut self.csma_scratch);
+            audible.clear();
+            audible.extend(self.incoming[src.index()].iter().map(|&(s, e, _)| (s, e)));
             audible.sort_unstable();
+            let mut deferrals = 0u32;
             let mut deferred = true;
-            while deferred {
+            while deferred && deferrals < cap {
                 deferred = false;
                 for &(s, e) in &audible {
                     if s < start_us + dur_us && start_us < e {
                         start_us = e + 200 + next_rand(&mut self.rng_state) % 800;
                         deferred = true;
+                        deferrals += 1;
+                        if deferrals >= cap {
+                            break;
+                        }
                     }
                 }
             }
+            if deferrals >= cap && deferrals > 0 {
+                self.csma_capped += 1;
+            }
+            self.csma_scratch = audible;
         }
         let end_us = start_us + dur_us;
         self.tx_ready_at_us[src.index()] = end_us;
         self.metrics
             .record_tx(src.index(), kind, total_bytes, dur_us as f64 / 1000.0);
 
-        let frame_idx = self.frames.len();
-        self.frames.push(FrameState {
+        let frame_idx = self.alloc_frame(FrameState {
             src,
-            dest: dest.clone(),
+            dest,
             kind,
             payload_bytes,
             payload,
             start_us,
             end_us,
             retries_left,
+            corrupted: Vec::new(),
         });
 
-        let neighbors: Vec<NodeId> = self.topology.neighbors(src).to_vec();
-        for r in neighbors {
-            if self.radio.collisions {
+        // Mark interference at every in-range node. Only disjoint fields of
+        // `self` are touched, so the topology's neighbour slice is iterated
+        // in place (no copy) while the interference state mutates.
+        let fanout = self.topology.neighbors(src).len();
+        if self.radio.collisions {
+            for &r in self.topology.neighbors(src) {
                 // Interference: any concurrent in-range frame corrupts both.
                 let incoming = &mut self.incoming[r.index()];
                 incoming.retain(|&(_, e, _)| e > start_us);
                 for &(s, e, g) in incoming.iter() {
                     if s < end_us && start_us < e {
-                        self.corrupted.insert((frame_idx, r));
-                        self.corrupted.insert((g, r));
+                        let mine = &mut self.frames[frame_idx].corrupted;
+                        if !mine.contains(&r) {
+                            mine.push(r);
+                        }
+                        let theirs = &mut self.frames[g].corrupted;
+                        if !theirs.contains(&r) {
+                            theirs.push(r);
+                        }
                     }
                 }
                 incoming.push((start_us, end_us, frame_idx));
             }
-            let intended = dest.includes(r);
-            self.push_event(
-                end_us,
-                EventKind::Deliver {
-                    frame: frame_idx,
-                    receiver: r,
+        }
+        if fanout == 0 {
+            // Nothing in range: the frame is spent the moment it airs.
+            self.release_frame(frame_idx);
+        } else {
+            // One event covers the frame's whole fan-out; receivers are
+            // walked in neighbour order when it fires (see EventKind).
+            self.push_event(end_us, EventKind::Deliver { frame: frame_idx });
+        }
+    }
+
+    /// Fires all of a frame's deliveries, walking receivers in neighbour
+    /// order (the order their one-event-per-receiver equivalents popped in),
+    /// then recycles the frame's slab slot.
+    fn handle_delivery(&mut self, frame_idx: usize) {
+        let (src, kind, payload_bytes, dur_ms, retries_left) = {
+            let f = &self.frames[frame_idx];
+            (
+                f.src,
+                f.kind,
+                f.payload_bytes,
+                (f.end_us - f.start_us) as f64 / 1000.0,
+                f.retries_left,
+            )
+        };
+        // App callbacks below can transmit (growing or recycling the slab),
+        // so the frame and neighbour list are re-borrowed per receiver by
+        // index; this frame's own slot cannot be recycled until the release
+        // at the end.
+        let fanout = self.topology.neighbors(src).len();
+        for i in 0..fanout {
+            let receiver = self.topology.neighbors(src)[i];
+            let f = &self.frames[frame_idx];
+            let intended = f.dest.includes(receiver);
+            let is_unicast = matches!(f.dest, Destination::Unicast(_));
+            let corrupted = f.corrupted.contains(&receiver);
+
+            if self.is_asleep(receiver) || self.failed[receiver.index()] {
+                // The radio is off (or the node is dead): the frame is missed.
+                if intended && is_unicast {
+                    let payload = self.frames[frame_idx].payload.clone();
+                    self.retry_or_give_up(
+                        src,
+                        receiver,
+                        kind,
+                        payload_bytes,
+                        payload,
+                        retries_left,
+                    );
+                }
+                continue;
+            }
+            self.metrics.record_rx(receiver.index(), dur_ms);
+
+            let loss_prob = if self.radio.distance_loss {
+                let d = self
+                    .topology
+                    .position(src)
+                    .distance(self.topology.position(receiver));
+                self.radio.loss_at(d, self.topology.radio_range())
+            } else {
+                self.radio.loss_rate
+            };
+            let lost =
+                !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
+            if corrupted {
+                self.metrics.record_collision();
+            }
+            if lost {
+                self.metrics.record_loss();
+            }
+            if corrupted || lost {
+                if intended && is_unicast {
+                    let payload = self.frames[frame_idx].payload.clone();
+                    self.retry_or_give_up(
+                        src,
+                        receiver,
+                        kind,
+                        payload_bytes,
+                        payload,
+                        retries_left,
+                    );
+                }
+                continue;
+            }
+
+            let Some(payload) = self.frames[frame_idx].payload.clone() else {
+                // Engine-generated beacon: accounted, not delivered to the app.
+                continue;
+            };
+            self.dispatch_callback(
+                receiver,
+                Callback::Message {
+                    from: src,
+                    kind,
+                    payload,
                     intended,
                 },
             );
         }
+        self.release_frame(frame_idx);
     }
 
-    fn handle_delivery(&mut self, frame_idx: usize, receiver: NodeId, intended: bool) {
-        let (src, kind, dest, payload_bytes, dur_ms, is_unicast) = {
-            let f = &self.frames[frame_idx];
-            (
-                f.src,
-                f.kind,
-                f.dest.clone(),
-                f.payload_bytes,
-                (f.end_us - f.start_us) as f64 / 1000.0,
-                matches!(f.dest, Destination::Unicast(_)),
-            )
-        };
-        let _ = dest;
-        if self.is_asleep(receiver) || self.failed[receiver.index()] {
-            // The radio is off (or the node is dead): the frame is missed.
-            if intended && is_unicast {
-                self.retry_or_give_up(frame_idx);
-            }
-            return;
-        }
-        self.metrics.record_rx(receiver.index(), dur_ms);
-
-        let corrupted = self.corrupted.remove(&(frame_idx, receiver));
-        let loss_prob = if self.radio.distance_loss {
-            let d = self
-                .topology
-                .position(src)
-                .distance(self.topology.position(receiver));
-            self.radio.loss_at(d, self.topology.radio_range())
-        } else {
-            self.radio.loss_rate
-        };
-        let lost = !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
-        if corrupted {
-            self.metrics.record_collision();
-        }
-        if lost {
-            self.metrics.record_loss();
-        }
-        if corrupted || lost {
-            if intended && is_unicast {
-                self.retry_or_give_up(frame_idx);
-            }
-            return;
-        }
-
-        let payload = match &self.frames[frame_idx].payload {
-            Some(p) => p.clone(),
-            // Engine-generated beacon: accounted, not delivered to the app.
-            None => return,
-        };
-        let _ = payload_bytes;
-        self.dispatch_callback(
-            receiver,
-            Callback::Message {
-                from: src,
-                kind,
-                payload,
-                intended,
-            },
-        );
-    }
-
-    fn retry_or_give_up(&mut self, frame_idx: usize) {
-        let (src, dest, kind, payload_bytes, payload, retries_left) = {
-            let f = &self.frames[frame_idx];
-            (
-                f.src,
-                f.dest.clone(),
-                f.kind,
-                f.payload_bytes,
-                f.payload.clone(),
-                f.retries_left,
-            )
-        };
+    /// Re-queues a missed unicast frame to `receiver` (the sole intended
+    /// recipient) or gives up once its retry budget is spent. The payload
+    /// `Arc` is shared with the original transmission, not copied.
+    fn retry_or_give_up(
+        &mut self,
+        src: NodeId,
+        receiver: NodeId,
+        kind: MsgKind,
+        payload_bytes: usize,
+        payload: Option<Arc<A::Payload>>,
+        retries_left: u32,
+    ) {
         if retries_left == 0 {
             self.metrics.record_gave_up();
             return;
@@ -783,7 +973,7 @@ impl<A: NodeApp> Simulator<A> {
         let backoff_us = 1000 + next_rand(&mut self.rng_state) % window_us;
         self.transmit(
             src,
-            dest,
+            Destination::Unicast(receiver),
             kind,
             payload_bytes,
             payload,
@@ -799,7 +989,8 @@ impl<A: NodeApp> Debug for Simulator<A> {
             .field("nodes", &self.nodes.len())
             .field("now", &self.now())
             .field("pending_events", &self.queue.len())
-            .field("frames_sent", &self.frames.len())
+            .field("frames_total", &self.frames_total)
+            .field("frame_slab_high_water", &self.slab_high_water)
             .finish_non_exhaustive()
     }
 }
@@ -811,7 +1002,7 @@ enum Callback<C, P> {
     Message {
         from: NodeId,
         kind: MsgKind,
-        payload: P,
+        payload: Arc<P>,
         intended: bool,
     },
 }

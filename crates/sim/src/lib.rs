@@ -77,7 +77,7 @@ mod time;
 mod topology;
 
 pub use energy::EnergyProfile;
-pub use engine::{Ctx, NodeApp, OutputRecord, SimConfig, Simulator};
+pub use engine::{Ctx, EngineStats, NodeApp, OutputRecord, SimConfig, Simulator};
 pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorField, UniformField};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use radio::{Destination, MsgKind, RadioParams};

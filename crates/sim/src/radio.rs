@@ -107,6 +107,12 @@ pub struct RadioParams {
     pub collisions: bool,
     /// Maximum retransmissions of a unicast frame after loss or collision.
     pub max_retries: u32,
+    /// Carrier-sense deferral budget per transmission attempt. Each deferral
+    /// jumps the sender's start time past one audible frame; past the budget
+    /// the sender gives up sensing and transmits anyway, accepting a
+    /// possible collision — the give-up real CSMA backoff performs. Bounds
+    /// the sensing loop under pathological backlogs of queued future frames.
+    pub csma_max_deferrals: u32,
 }
 
 impl Default for RadioParams {
@@ -119,6 +125,7 @@ impl Default for RadioParams {
             distance_loss: false,
             collisions: true,
             max_retries: 3,
+            csma_max_deferrals: 32,
         }
     }
 }

@@ -584,3 +584,103 @@ fn multicast_is_not_retransmitted_on_loss() {
     assert!(sim.node(NodeId(0)).received.is_empty());
     assert!(sim.node(NodeId(2)).received.is_empty());
 }
+
+/// Topology for the CSMA cap tests: a sender S with two audible neighbours
+/// A and B that are hidden from each other, plus a receiver R that hears
+/// both S and B (but not A).
+///
+/// ```text
+///   A(-40) --- S(0) -- R(20) -- B(40)      radio range 50
+/// ```
+fn csma_cap_topology() -> Topology {
+    Topology::from_positions(
+        [-40.0, 0.0, 20.0, 40.0]
+            .iter()
+            .map(|&x| Position { x, y: 0.0 })
+            .collect(),
+        50.0,
+    )
+    .unwrap()
+}
+
+const CSMA_CAP_A: NodeId = NodeId(0);
+const CSMA_CAP_S: NodeId = NodeId(1);
+const CSMA_CAP_R: NodeId = NodeId(2);
+const CSMA_CAP_B: NodeId = NodeId(3);
+
+/// Drives the cap topology: A and B (mutually hidden, so neither defers to
+/// the other) each air a long frame, staggered so S hears two chained
+/// windows; S then tries to transmit during the first.
+fn run_csma_cap_scenario(csma_max_deferrals: u32) -> Simulator<Probe> {
+    let mut radio = RadioParams::lossless();
+    radio.collisions = true;
+    radio.max_retries = 0;
+    radio.csma_max_deferrals = csma_max_deferrals;
+    let mut sim = new_sim(csma_cap_topology(), radio);
+    // Two ~205 ms frames starting 2 ms apart: deferring past A's frame
+    // lands the sender inside B's window.
+    for (node, at_ms) in [(CSMA_CAP_A, 10), (CSMA_CAP_B, 12)] {
+        sim.schedule_command(
+            SimTime::from_ms(at_ms),
+            node,
+            Cmd::Send {
+                dest: Destination::Broadcast,
+                kind: MsgKind::Result,
+                bytes: 1000,
+                tag: "long".into(),
+            },
+        );
+    }
+    sim.schedule_command(
+        SimTime::from_ms(50),
+        CSMA_CAP_S,
+        Cmd::Send {
+            dest: Destination::Broadcast,
+            kind: MsgKind::Result,
+            bytes: 4,
+            tag: "poke".into(),
+        },
+    );
+    sim.run_until(SimTime::from_ms(2_000));
+    sim
+}
+
+#[test]
+fn csma_deferral_cap_falls_through_to_transmit_with_collision() {
+    // With a budget of one deferral, the sender jumps past the first
+    // audible frame, gives up sensing, and transmits inside the second
+    // frame's window — colliding with it at the common receiver R instead
+    // of deferring forever.
+    let sim = run_csma_cap_scenario(1);
+    let stats = sim.engine_stats();
+    assert_eq!(
+        stats.csma_capped_deferrals, 1,
+        "the capped fall-through should have triggered exactly once"
+    );
+    assert!(
+        sim.metrics().collisions() >= 1,
+        "the capped transmission should collide rather than defer"
+    );
+    // All three frames were still put on the air, and the slab recycled.
+    assert_eq!(sim.metrics().tx_count_total(), 3);
+    assert_eq!(stats.frames_total, 3);
+    assert!(sim
+        .node(CSMA_CAP_R)
+        .received
+        .iter()
+        .all(|(_, _, t)| t != "long"));
+}
+
+#[test]
+fn csma_default_budget_defers_clear_of_the_same_backlog() {
+    // The identical scenario under the default budget: the sender defers
+    // past both windows, so its own frame collides with nothing. (A's and
+    // B's long frames still corrupt each other at S — they are hidden
+    // terminals — so exactly those two collisions remain.)
+    let sim = run_csma_cap_scenario(RadioParams::default().csma_max_deferrals);
+    assert_eq!(sim.engine_stats().csma_capped_deferrals, 0);
+    assert_eq!(sim.metrics().collisions(), 2);
+    assert_eq!(sim.metrics().tx_count_total(), 3);
+    // R hears B's long frame and S's poke (A is out of R's range).
+    assert_eq!(sim.node(CSMA_CAP_R).received.len(), 2);
+}
