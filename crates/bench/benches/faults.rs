@@ -1,0 +1,70 @@
+//! Fault-subsystem benchmark: end-to-end TTMQO runs under each fault-plan
+//! element, with healing outcomes and regression tracking.
+//!
+//! Writes `BENCH_faults.json` (JSON lines, one record per scenario). The
+//! `healthy-8x8` row runs the exact fault-free configuration through the
+//! same harness, so its throughput is the baseline the faulty rows are read
+//! against — and its trajectory across commits guards the no-fault hot path.
+//!
+//! `FAULT_BENCH_SCALE=smoke` shrinks the simulated duration for CI smoke
+//! runs (the numbers still land in the report, labelled by the same
+//! scenario names).
+
+use ttmqo_bench::{
+    fault_bench, parse_prior_faults_report, print_table, FaultBenchParams, FAULTS_REPORT_FILE,
+};
+
+fn main() {
+    let smoke = std::env::var("FAULT_BENCH_SCALE").as_deref() == Ok("smoke");
+    // Full scale: 48 epochs covers crash (epoch 8), detection, re-election,
+    // and a long recovered tail; smoke: enough epochs for the crashes and
+    // the first repairs while staying trivial for CI.
+    let duration_epochs = if smoke { 20 } else { 48 };
+    let prior = std::fs::read_to_string(FAULTS_REPORT_FILE)
+        .map(|text| parse_prior_faults_report(&text))
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    for params in FaultBenchParams::default_scenarios(duration_epochs) {
+        let r = fault_bench(&params);
+        let delta = prior
+            .iter()
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, prev)| format!("{:+.1}%", 100.0 * (r.sim_ms_per_wall_s / prev - 1.0)))
+            .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            r.name.clone(),
+            (r.grid_n * r.grid_n).to_string(),
+            format!("{:.4}", r.wall_s),
+            format!("{:.0}", r.sim_ms_per_wall_s),
+            delta,
+            format!("{:.3}", r.min_epoch_ratio),
+            format!("{:.3}", r.min_row_ratio),
+            r.repairs_triggered.to_string(),
+            r.orphaned_nodes.to_string(),
+        ]);
+        lines.push(r.to_json());
+    }
+    print_table(
+        "Fault bench — healing throughput and answer completeness",
+        &[
+            "scenario",
+            "nodes",
+            "wall s",
+            "sim ms/s",
+            "vs prior",
+            "epoch ratio",
+            "row ratio",
+            "repairs",
+            "orphans",
+        ],
+        &rows,
+    );
+
+    let report = lines.join("\n") + "\n";
+    match std::fs::write(FAULTS_REPORT_FILE, report) {
+        Ok(()) => eprintln!("wrote {} records to {FAULTS_REPORT_FILE}", lines.len()),
+        Err(e) => eprintln!("could not write {FAULTS_REPORT_FILE}: {e}"),
+    }
+}

@@ -238,14 +238,14 @@ pub fn parse_prior_report(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
     let tag = format!("\"{key}\":\"");
     let start = line.find(&tag)? + tag.len();
     let end = line[start..].find('"')? + start;
     Some(line[start..end].to_string())
 }
 
-fn field_f64(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_f64(line: &str, key: &str) -> Option<f64> {
     let tag = format!("\"{key}\":");
     let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];

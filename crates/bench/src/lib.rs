@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod faults;
 pub mod fig2;
 pub mod fig34;
 pub mod fig5;
@@ -18,6 +19,10 @@ pub mod table;
 pub use campaign::{paper_campaign, write_report, CAMPAIGN_REPORT_FILE};
 pub use engine::{
     engine_microbench, parse_prior_report, EngineBenchParams, EngineBenchResult, ENGINE_REPORT_FILE,
+};
+pub use faults::{
+    fault_bench, parse_prior_faults_report, FaultBenchParams, FaultBenchResult, FAULTS_REPORT_FILE,
+    FAULT_BENCH_EPOCH_MS,
 };
 pub use fig2::{fig2_counts, Fig2Counts};
 pub use fig34::{

@@ -8,7 +8,7 @@
 //! epochs (a member with a 4096 ms epoch only receives answers for epochs at
 //! multiples of 4096 ms even when the synthetic query fires every 2048 ms).
 
-use ttmqo_query::{aggregate_rows, EpochAnswer, Query, Row, Selection};
+use ttmqo_query::{aggregate_rows, Attribute, EpochAnswer, Query, Row, Selection};
 
 /// Maps one synthetic-query epoch answer onto one member user query.
 ///
@@ -103,6 +103,63 @@ pub fn map_epoch_answer_at(
     }
 }
 
+/// Outcome of mapping one *expected* epoch of a user query: either the
+/// mapped answer, or an explicit marker that the epoch produced nothing.
+///
+/// [`map_epoch_answer_at`] alone cannot distinguish "this epoch is not due
+/// for the user query" (benign) from "the epoch was due but the synthetic
+/// stream had no usable result" (data loss) — callers used to silently skip
+/// both. Completeness accounting needs the difference made explicit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochOutcome {
+    /// The synthetic stream answered this due epoch; the mapped user answer.
+    Answered(EpochAnswer),
+    /// The epoch was due for the user query but no answer could be produced:
+    /// the synthetic result never arrived (lost upstream, base station down)
+    /// or could not be mapped.
+    Missing,
+}
+
+impl EpochOutcome {
+    /// Whether this due epoch went unanswered.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, EpochOutcome::Missing)
+    }
+
+    /// The mapped answer, if any.
+    pub fn answer(&self) -> Option<&EpochAnswer> {
+        match self {
+            EpochOutcome::Answered(a) => Some(a),
+            EpochOutcome::Missing => None,
+        }
+    }
+}
+
+/// Maps one epoch of a user query with gaps made explicit.
+///
+/// Returns `None` when `epoch_ms` is not an epoch of the user query at all
+/// (nothing was expected). Otherwise the epoch *was* due, and the result is
+/// [`EpochOutcome::Answered`] when the synthetic stream yielded a mappable
+/// answer or [`EpochOutcome::Missing`] when `answer` was absent (no
+/// synthetic result arrived for this epoch) or unmappable.
+pub fn map_expected_epoch(
+    user: &Query,
+    synthetic: &Query,
+    epoch_ms: u64,
+    answer: Option<&EpochAnswer>,
+    position_of: &dyn Fn(u16) -> Option<(f64, f64)>,
+) -> Option<EpochOutcome> {
+    if !user.epoch().fires_at(epoch_ms) {
+        return None;
+    }
+    Some(
+        match answer.and_then(|a| map_epoch_answer_at(user, synthetic, epoch_ms, a, position_of)) {
+            Some(mapped) => EpochOutcome::Answered(mapped),
+            None => EpochOutcome::Missing,
+        },
+    )
+}
+
 /// Rows of the synthetic stream that satisfy the user's own predicates and
 /// region clause.
 fn refilter(
@@ -117,9 +174,14 @@ fn refilter(
                 .is_none_or(|reg| position_of(r.node).is_some_and(|(x, y)| reg.contains(x, y)));
             in_region
                 && user.predicates().matches_with(|attr| {
-                    // A missing attribute fails the predicate; the optimizer's
+                    // `nodeid` is the row's identity, not a sensed reading —
+                    // it never travels in the readings map. Any other
+                    // missing attribute fails the predicate; the optimizer's
                     // needed-attribute rule ensures re-filter attributes
                     // travel with the row.
+                    if attr == Attribute::NodeId {
+                        return f64::from(r.node);
+                    }
                     r.readings.get(attr).unwrap_or(f64::NAN)
                 })
         })
@@ -151,6 +213,23 @@ mod tests {
     fn refilters_with_user_predicates() {
         let synthetic = q(100, "select light, temp epoch duration 2048");
         let user = q(1, "select light where 200<=light<=400 epoch duration 2048");
+        let rows = vec![row(1, 100.0, 0.0), row(2, 300.0, 0.0), row(3, 500.0, 0.0)];
+        let EpochAnswer::Rows(mapped) =
+            map_epoch_answer(&user, &synthetic, 2048, &EpochAnswer::Rows(rows)).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(mapped.len(), 1);
+        assert_eq!(mapped[0].node, 2);
+    }
+
+    #[test]
+    fn nodeid_predicate_is_answered_from_the_row_identity() {
+        // `nodeid` never appears in the readings map — the mapper must read
+        // it off the row itself, or every nodeid-filtered query maps to an
+        // empty answer forever.
+        let synthetic = q(100, "select light epoch duration 2048");
+        let user = q(1, "select light where nodeid = 2 epoch duration 2048");
         let rows = vec![row(1, 100.0, 0.0), row(2, 300.0, 0.0), row(3, 500.0, 0.0)];
         let EpochAnswer::Rows(mapped) =
             map_epoch_answer(&user, &synthetic, 2048, &EpochAnswer::Rows(rows)).unwrap()
@@ -237,6 +316,42 @@ mod tests {
         let user = q(1, "select light epoch duration 2048");
         let answer = EpochAnswer::Aggregates(vec![]);
         assert!(map_epoch_answer(&user, &synthetic, 2048, &answer).is_none());
+    }
+
+    #[test]
+    fn expected_epoch_with_no_result_is_marked_missing_not_skipped() {
+        let synthetic = q(100, "select light epoch duration 2048");
+        let user = q(1, "select light epoch duration 4096");
+        let no_pos = |_: u16| None;
+        // Off-epoch: nothing was expected, so no outcome at all.
+        assert_eq!(
+            map_expected_epoch(&user, &synthetic, 2048, None, &no_pos),
+            None
+        );
+        // Due epoch, no synthetic result: an explicit gap marker.
+        let outcome = map_expected_epoch(&user, &synthetic, 4096, None, &no_pos).unwrap();
+        assert!(outcome.is_missing());
+        assert_eq!(outcome.answer(), None);
+        // Due epoch with a result: the mapped answer.
+        let rows = EpochAnswer::Rows(vec![row(1, 100.0, 0.0)]);
+        let outcome = map_expected_epoch(&user, &synthetic, 4096, Some(&rows), &no_pos).unwrap();
+        assert!(!outcome.is_missing());
+        match outcome.answer().unwrap() {
+            EpochAnswer::Rows(rs) => assert_eq!(rs.len(), 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unmappable_result_is_marked_missing() {
+        // An aggregate stream can never answer an acquisition query; with
+        // gaps made explicit this surfaces as Missing instead of a skip.
+        let synthetic = q(100, "select max(light) epoch duration 2048");
+        let user = q(1, "select light epoch duration 2048");
+        let answer = EpochAnswer::Aggregates(vec![]);
+        let outcome =
+            map_expected_epoch(&user, &synthetic, 2048, Some(&answer), &|_| None).unwrap();
+        assert!(outcome.is_missing());
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub struct OptimizerStats {
     pub absorbed_insertions: u64,
     /// Terminations fully absorbed at the base station.
     pub absorbed_terminations: u64,
+    /// Repair-triggered re-optimizations (persistently missing results).
+    pub reoptimizations: u64,
 }
 
 /// Tunable behaviour of the optimizer (the defaults are the paper's
@@ -262,6 +264,34 @@ impl BaseStationOptimizer {
             self.stats.absorbed_terminations += 1;
         }
         ops
+    }
+
+    /// Repair path: rebuilds the synthetic query `syn_id` from its members
+    /// under *fresh* synthetic ids and returns the abort/inject operations.
+    ///
+    /// Triggered when the base station detects persistently missing results
+    /// for a member of `syn_id`: the rebuilt queries carry new ids, so
+    /// re-flooding them is not suppressed by the network's flood
+    /// deduplication even where the old query is still nominally installed.
+    /// The rewrite itself is Algorithm 1 over the same member set with the
+    /// same α, so a healthy set converges back to an equivalent synthetic
+    /// set (see the idempotence tests).
+    ///
+    /// Returns no operations when `syn_id` is not running.
+    pub fn reoptimize(&mut self, syn_id: QueryId) -> Vec<NetworkOp> {
+        let Some(sq) = self.synthetics.remove(&syn_id) else {
+            return Vec::new();
+        };
+        self.stats.reoptimizations += 1;
+        let members: Vec<QueryId> = sq.members().collect();
+        for m in members {
+            self.user_to_syn.remove(&m);
+            let mq = self.user_queries[&m].clone();
+            let mut probe = SyntheticQuery::new(mq.with_id(self.fresh_syn_id()));
+            probe.add_member(m, &Demand::of(&mq));
+            self.insert_probe(probe);
+        }
+        self.diff_ops()
     }
 
     /// The currently running synthetic queries (as injected).
@@ -670,6 +700,101 @@ mod tests {
     fn terminate_unknown_query_is_noop() {
         let mut o = opt(0.6);
         assert!(o.terminate(QueryId(99)).is_empty());
+    }
+
+    /// Id-independent canonical forms of the running synthetic set, for
+    /// comparing sets across rewrites that renumber synthetic ids.
+    fn synthetic_shapes(o: &BaseStationOptimizer) -> Vec<String> {
+        let mut shapes: Vec<String> = o
+            .synthetic_queries()
+            .map(|s| format!("{:?}", s.with_id(QueryId(0))))
+            .collect();
+        shapes.sort();
+        shapes
+    }
+
+    const REPAIR_SET: [&str; 5] = [
+        "select light where 100<light<300 epoch duration 4096",
+        "select light where 150<light<500 epoch duration 4096",
+        "select light, temp epoch duration 2048",
+        "select max(light) epoch duration 8192",
+        "select min(temp) where 0<=temp<=500 epoch duration 4096",
+    ];
+
+    #[test]
+    fn reoptimize_rebuilds_equivalent_synthetics_under_fresh_ids() {
+        let mut o = opt(0.6);
+        for (i, t) in REPAIR_SET.iter().enumerate() {
+            o.insert(q(1 + i as u64, t)).unwrap();
+        }
+        let before = synthetic_shapes(&o);
+        let ids_before: Vec<QueryId> = o.synthetic_queries().map(|s| s.id()).collect();
+
+        // Repair every running synthetic, re-resolving ids as rewrites
+        // rename them.
+        let mut repaired = 0;
+        while let Some(&id) = o
+            .synthetic_queries()
+            .map(|s| s.id())
+            .collect::<Vec<_>>()
+            .iter()
+            .find(|id| ids_before.contains(id))
+        {
+            let ops = o.reoptimize(id);
+            assert!(
+                ops.iter()
+                    .any(|op| matches!(op, NetworkOp::Abort(a) if *a == id)),
+                "repair must abort the stale synthetic"
+            );
+            assert!(
+                ops.iter().any(|op| matches!(op, NetworkOp::Inject(_))),
+                "repair must re-flood something"
+            );
+            repaired += 1;
+        }
+        assert!(repaired > 0);
+        // Same α, same member set: the synthetic set converges to the same
+        // shapes — only the ids moved.
+        assert_eq!(synthetic_shapes(&o), before);
+        for id in o.synthetic_queries().map(|s| s.id()) {
+            assert!(!ids_before.contains(&id), "repair must issue fresh ids");
+        }
+        assert_eq!(o.stats().reoptimizations, repaired);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn terminate_and_reinsert_same_set_converges_to_same_shapes() {
+        let mut o = opt(0.6);
+        let queries: Vec<Query> = REPAIR_SET
+            .iter()
+            .enumerate()
+            .map(|(i, t)| q(1 + i as u64, t))
+            .collect();
+        for query in &queries {
+            o.insert(query.clone()).unwrap();
+        }
+        let before = synthetic_shapes(&o);
+
+        for query in &queries {
+            o.terminate(query.id());
+        }
+        assert_eq!(o.synthetic_count(), 0);
+        assert_eq!(o.user_count(), 0);
+
+        for query in &queries {
+            o.insert(query.clone()).unwrap();
+        }
+        assert_eq!(synthetic_shapes(&o), before);
+        assert_invariants(&o);
+    }
+
+    #[test]
+    fn reoptimize_unknown_synthetic_is_noop() {
+        let mut o = opt(0.6);
+        o.insert(q(1, "select light epoch duration 2048")).unwrap();
+        assert!(o.reoptimize(QueryId(999)).is_empty());
+        assert_eq!(o.stats().reoptimizations, 0);
     }
 
     #[test]

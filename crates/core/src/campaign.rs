@@ -56,7 +56,7 @@ use crate::runner::{run_experiment, ExperimentConfig, Strategy, WorkloadEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use ttmqo_sim::MetricsSnapshot;
+use ttmqo_sim::{CompletenessReport, FaultPlan, MetricsSnapshot};
 
 /// A named workload inside a campaign.
 #[derive(Debug, Clone)]
@@ -67,8 +67,19 @@ pub struct CampaignWorkload {
     pub events: Vec<WorkloadEvent>,
 }
 
+/// A named fault plan inside a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignFault {
+    /// Name carried into every record of this plan's cells (`"none"` for the
+    /// default fault-free entry).
+    pub name: String,
+    /// The fault plan injected into every cell of this axis entry.
+    pub plan: FaultPlan,
+}
+
 /// A declarative sweep: the cross product of strategies, grid sizes, field
-/// seeds and workloads, every cell sharing `base` for everything else.
+/// seeds, fault plans and workloads, every cell sharing `base` for
+/// everything else.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Configuration shared by every cell; each cell overrides `strategy`,
@@ -80,6 +91,9 @@ pub struct CampaignSpec {
     pub grid_sizes: Vec<usize>,
     /// Sensor-field seed axis (defaults to the base config's single seed).
     pub field_seeds: Vec<u64>,
+    /// Fault-plan axis (defaults to a single fault-free `"none"` entry, so
+    /// existing sweeps keep their cell count until a plan is added).
+    pub faults: Vec<CampaignFault>,
     /// Workload axis; at least one is required to have any cells.
     pub workloads: Vec<CampaignWorkload>,
 }
@@ -93,6 +107,10 @@ impl CampaignSpec {
             strategies: Strategy::ALL.to_vec(),
             grid_sizes: vec![4, 8],
             field_seeds: vec![base.field_seed],
+            faults: vec![CampaignFault {
+                name: "none".to_string(),
+                plan: FaultPlan::default(),
+            }],
             workloads: Vec::new(),
             base,
         }
@@ -116,6 +134,18 @@ impl CampaignSpec {
         self
     }
 
+    /// Appends a named fault plan to the axis, alongside the default
+    /// fault-free `"none"` entry — a fault sweep usually wants the healthy
+    /// cell as its baseline. Replace [`CampaignSpec::faults`] wholesale to
+    /// drop it.
+    pub fn fault_plan(mut self, name: impl Into<String>, plan: FaultPlan) -> Self {
+        self.faults.push(CampaignFault {
+            name: name.into(),
+            plan,
+        });
+        self
+    }
+
     /// Appends a named workload.
     pub fn workload(mut self, name: impl Into<String>, events: Vec<WorkloadEvent>) -> Self {
         self.workloads.push(CampaignWorkload {
@@ -130,25 +160,30 @@ impl CampaignSpec {
         self.workloads.len()
             * self.grid_sizes.len()
             * self.field_seeds.len()
+            * self.faults.len()
             * self.strategies.len()
     }
 
     /// Expands the sweep into per-cell coordinates, in the deterministic
-    /// report order: workloads (outer) × grid sizes × field seeds ×
-    /// strategies (inner) — the order the paper's figure tables read in.
+    /// report order: workloads (outer) × grid sizes × field seeds × fault
+    /// plans × strategies (inner) — the order the paper's figure tables
+    /// read in.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for (workload, _) in self.workloads.iter().enumerate() {
             for &grid_n in &self.grid_sizes {
                 for &field_seed in &self.field_seeds {
-                    for &strategy in &self.strategies {
-                        cells.push(CellSpec {
-                            index: cells.len(),
-                            workload,
-                            strategy,
-                            grid_n,
-                            field_seed,
-                        });
+                    for (fault, _) in self.faults.iter().enumerate() {
+                        for &strategy in &self.strategies {
+                            cells.push(CellSpec {
+                                index: cells.len(),
+                                workload,
+                                strategy,
+                                grid_n,
+                                field_seed,
+                                fault,
+                            });
+                        }
                     }
                 }
             }
@@ -170,10 +205,13 @@ pub struct CellSpec {
     pub grid_n: usize,
     /// Field-seed coordinate.
     pub field_seed: u64,
+    /// Index into [`CampaignSpec::faults`].
+    pub fault: usize,
 }
 
 impl CellSpec {
-    /// The full experiment configuration of this cell.
+    /// The full experiment configuration of this cell (without the fault
+    /// plan, which [`run_campaign_with`] injects from the spec's fault axis).
     pub fn config(&self, base: &ExperimentConfig) -> ExperimentConfig {
         ExperimentConfig {
             strategy: self.strategy,
@@ -199,6 +237,8 @@ pub struct CellRecord {
     pub grid_n: usize,
     /// Sensor-field seed.
     pub field_seed: u64,
+    /// Fault-plan name (`"none"` for the fault-free entry).
+    pub fault: String,
     /// Host wall-clock time of this cell's simulation, ms. The only
     /// non-deterministic field.
     pub wall_clock_ms: f64,
@@ -214,6 +254,8 @@ pub struct CellRecord {
     pub avg_benefit_ratio: f64,
     /// Tier-1 optimizer counters; `None` for strategies without that tier.
     pub optimizer: Option<OptimizerStats>,
+    /// Per-query answer completeness and repair accounting.
+    pub completeness: CompletenessReport,
     /// Simulator counters at the end of the run.
     pub metrics: MetricsSnapshot,
 }
@@ -229,14 +271,17 @@ impl CellRecord {
     ///
     /// ```json
     /// {"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
-    ///  "wall_clock_ms":12.5,"workload_events":8,"queries_answered":4,
+    ///  "fault":"none","wall_clock_ms":12.5,"workload_events":8,"queries_answered":4,
     ///  "answer_epochs":160,"avg_synthetic_count":1.9,"avg_benefit_ratio":0.31,
     ///  "optimizer":{"inserted":4,"terminated":4,"injections":2,"abortions":1,
     ///               "absorbed_insertions":2,"absorbed_terminations":3},
+    ///  "completeness":{"min_epoch_ratio":1,"min_row_ratio":0.95,
+    ///                  "repairs_triggered":0,"mean_repair_latency_ms":null},
     ///  "metrics":{"avg_transmission_time_pct":0.41,"total_tx_busy_ms":1031.2,
     ///             "total_rx_busy_ms":2222.1,"total_sleep_ms":0,
     ///             "tx_count":{"result":320},"tx_bytes":{"result":9600},
     ///             "retransmissions":0,"collisions":0,"losses":0,"gave_up":0,
+    ///             "orphaned_drops":0,"orphaned_nodes":0,
     ///             "samples":512,"horizon_ms":196608}}
     /// ```
     ///
@@ -251,6 +296,8 @@ impl CellRecord {
         json_num(&mut out, "grid_n", &self.grid_n.to_string());
         out.push(',');
         json_num(&mut out, "field_seed", &self.field_seed.to_string());
+        out.push(',');
+        json_str(&mut out, "fault", &self.fault);
         out.push(',');
         json_num(&mut out, "wall_clock_ms", &json_f64(self.wall_clock_ms));
         out.push(',');
@@ -306,6 +353,25 @@ impl CellRecord {
                 out.push('}');
             }
         }
+        out.push_str(",\"completeness\":{");
+        let c = &self.completeness;
+        json_num(&mut out, "min_epoch_ratio", &json_f64(c.min_epoch_ratio()));
+        out.push(',');
+        json_num(&mut out, "min_row_ratio", &json_f64(c.min_row_ratio()));
+        out.push(',');
+        json_num(
+            &mut out,
+            "repairs_triggered",
+            &c.repairs_triggered.to_string(),
+        );
+        out.push(',');
+        json_num(
+            &mut out,
+            "mean_repair_latency_ms",
+            &c.mean_repair_latency_ms()
+                .map_or_else(|| "null".to_string(), json_f64),
+        );
+        out.push('}');
         out.push_str(",\"metrics\":{");
         let m = &self.metrics;
         json_num(
@@ -342,6 +408,10 @@ impl CellRecord {
         out.push(',');
         json_num(&mut out, "gave_up", &m.gave_up.to_string());
         out.push(',');
+        json_num(&mut out, "orphaned_drops", &m.orphaned_drops.to_string());
+        out.push(',');
+        json_num(&mut out, "orphaned_nodes", &m.orphaned_nodes.to_string());
+        out.push(',');
         json_num(&mut out, "samples", &m.samples.to_string());
         out.push(',');
         json_num(&mut out, "horizon_ms", &m.horizon_ms.to_string());
@@ -363,7 +433,9 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// The record at the given sweep coordinates, if the campaign ran it.
+    /// The record at the given sweep coordinates, if the campaign ran it
+    /// (the first matching record when the sweep has several fault-plan
+    /// entries — filter `cells` by `fault` name to disambiguate).
     pub fn cell(
         &self,
         workload: &str,
@@ -394,7 +466,9 @@ impl CampaignReport {
 /// Runs one cell and wraps its results into a record.
 fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
     let workload = &spec.workloads[cell.workload];
-    let config = cell.config(&spec.base);
+    let fault = &spec.faults[cell.fault];
+    let mut config = cell.config(&spec.base);
+    config.faults = fault.plan.clone();
     let start = Instant::now();
     let report = run_experiment(&config, &workload.events);
     let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -403,6 +477,7 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
         strategy: cell.strategy,
         grid_n: cell.grid_n,
         field_seed: cell.field_seed,
+        fault: fault.name.clone(),
         wall_clock_ms,
         workload_events: workload.events.len(),
         queries_answered: report.answers.len(),
@@ -410,6 +485,7 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
         avg_synthetic_count: report.avg_synthetic_count,
         avg_benefit_ratio: report.avg_benefit_ratio,
         optimizer: report.optimizer_stats,
+        completeness: report.completeness,
         metrics: report.metrics.snapshot(),
     }
 }
@@ -612,7 +688,10 @@ mod tests {
                 "unbalanced braces in {line}"
             );
             assert_eq!(line.matches('"').count() % 2, 0);
-            assert!(!line.contains("null") || line.contains("\"optimizer\":null"));
+            let sanitized = line
+                .replace("\"optimizer\":null", "")
+                .replace("\"mean_repair_latency_ms\":null", "");
+            assert!(!sanitized.contains("null"), "unexpected null in {line}");
         }
         assert!(jsonl.contains("\"strategy\":\"baseline\""));
         assert!(jsonl.contains("\"strategy\":\"two-tier\""));
@@ -626,6 +705,31 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn fault_axis_expands_cells_and_marks_records() {
+        use ttmqo_sim::NodeId;
+        let spec = tiny_spec().strategies([Strategy::TwoTier]).fault_plan(
+            "crash-one",
+            FaultPlan::scripted(vec![(NodeId(8), 3 * 2048, None)]),
+        );
+        assert_eq!(spec.cell_count(), 2, "none + crash-one");
+        let report = run_campaign_with(&spec, 2);
+        assert_eq!(report.cells[0].fault, "none");
+        assert_eq!(report.cells[1].fault, "crash-one");
+        // The healthy lossless cell answers every expected epoch (row
+        // completeness is below 1 by design here: expected rows are a static
+        // upper bound that ignores the workload's value predicates); the
+        // faulty cell's accounting visibly diverges from it.
+        assert_eq!(report.cells[0].completeness.min_epoch_ratio(), 1.0);
+        assert_eq!(report.cells[0].completeness.repairs_triggered, 0);
+        assert_ne!(report.cells[0].completeness, report.cells[1].completeness);
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"fault\":\"none\""));
+        assert!(jsonl.contains("\"fault\":\"crash-one\""));
+        assert!(jsonl.contains("\"completeness\":{\"min_epoch_ratio\":"));
+        assert!(jsonl.contains("\"orphaned_nodes\":"));
     }
 
     #[test]

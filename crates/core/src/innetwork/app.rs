@@ -60,6 +60,15 @@ pub struct TtmqoConfig {
     /// with `nodeid` predicates (§3.2.2 mentions SRT as the alternative to
     /// flooding for node-id based queries; off by default).
     pub srt: bool,
+    /// Self-healing: number of consecutive *failed* unicast sends (whole
+    /// retry budget exhausted with no link-layer acknowledgement) after
+    /// which a parent is presumed dead and excluded from parent election.
+    /// Hearing any frame from it (including overheard ones) resets the
+    /// counter and revives it. `0` disables the detector (the default) —
+    /// routing is then byte-identical to the pre-fault-subsystem behaviour.
+    /// Extension beyond the paper, which leaves node failures to future
+    /// work.
+    pub dead_parent_after: u32,
 }
 
 impl Default for TtmqoConfig {
@@ -71,6 +80,7 @@ impl Default for TtmqoConfig {
             dynamic_parents: true,
             query_recovery: true,
             srt: false,
+            dead_parent_after: 0,
         }
     }
 }
@@ -104,6 +114,9 @@ pub struct TtmqoApp {
     forward_only: BTreeMap<QueryId, Query>,
     /// Semantic routing tree (built lazily when `config.srt` is on).
     srt: Option<Srt>,
+    /// Epoch start of the last no-route resignation broadcast, so an
+    /// orphaned node announces at most once per epoch.
+    last_no_route_ms: Option<u64>,
     /// Aggregation partials per (query, epoch-start ms).
     agg_buffers: HashMap<(QueryId, u64), Vec<Option<PartialAgg>>>,
     /// Base station only: acquisition rows per (query, epoch-start ms).
@@ -126,6 +139,7 @@ impl TtmqoApp {
             requested_queries: BTreeSet::new(),
             forward_only: BTreeMap::new(),
             srt: None,
+            last_no_route_ms: None,
             agg_buffers: HashMap::new(),
             row_buffers: HashMap::new(),
         }
@@ -139,6 +153,11 @@ impl TtmqoApp {
     /// Queries this node's latest readings satisfy (for tests).
     pub fn has_data_for(&self) -> impl Iterator<Item = QueryId> + '_ {
         self.has_data.iter().copied()
+    }
+
+    /// Read-only view of the routing DAG state (for tests and diagnostics).
+    pub fn dag(&self) -> &DagState {
+        &self.dag
     }
 
     fn gcd_epoch(&self) -> Option<EpochDuration> {
@@ -408,6 +427,11 @@ impl TtmqoApp {
     ) {
         let parents = self.route(ctx, qids);
         if parents.is_empty() {
+            // Data to send but no live route toward the base station.
+            if self.dag.is_orphaned() {
+                ctx.record_orphaned();
+                self.announce_no_route(ctx, epoch_ms);
+            }
             return;
         }
         let assignments: Vec<(NodeId, Vec<QueryId>)> = parents
@@ -426,6 +450,20 @@ impl TtmqoApp {
         };
         let bytes = payload.wire_size();
         ctx.send(dest, MsgKind::Result, bytes, payload);
+    }
+
+    /// Broadcasts (at most once per epoch) that this node is orphaned — no
+    /// live route toward the base station — so lower neighbours re-elect
+    /// around it instead of feeding a black hole that acknowledges their
+    /// frames and then drops the data.
+    fn announce_no_route(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, epoch_ms: u64) {
+        if self.last_no_route_ms == Some(epoch_ms) {
+            return;
+        }
+        self.last_no_route_ms = Some(epoch_ms);
+        let payload = TtmqoPayload::NoRoute;
+        let bytes = payload.wire_size();
+        ctx.send(Destination::Broadcast, MsgKind::Maintenance, bytes, payload);
     }
 
     /// Sends the shared aggregation frame for one epoch from the buffers.
@@ -454,6 +492,10 @@ impl TtmqoApp {
         }
         let parents = self.route(ctx, &qids);
         if parents.is_empty() {
+            if self.dag.is_orphaned() {
+                ctx.record_orphaned();
+                self.announce_no_route(ctx, epoch_ms);
+            }
             return;
         }
         let assignments: Vec<(NodeId, Vec<QueryId>)> = parents
@@ -689,6 +731,7 @@ impl NodeApp for TtmqoApp {
             .map(|n| (n, topo.link_quality(node, n)))
             .collect();
         self.dag = DagState::new(upper);
+        self.dag.set_failure_detector(self.config.dead_parent_after);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, TtmqoPayload, Output>, timer_key: u64) {
@@ -768,6 +811,9 @@ impl NodeApp for TtmqoApp {
         _kind: MsgKind,
         payload: &TtmqoPayload,
     ) {
+        // Any frame from an upper neighbour is proof of life for the parent
+        // failure detector.
+        self.dag.record_heard(from);
         match payload {
             TtmqoPayload::Query { query, has_data } => {
                 self.dag.record_has_data(from, has_data.iter().copied());
@@ -778,6 +824,9 @@ impl NodeApp for TtmqoApp {
             }
             TtmqoPayload::Wakeup { has_data } => {
                 self.dag.record_has_data(from, has_data.iter().copied());
+            }
+            TtmqoPayload::NoRoute => {
+                self.dag.record_no_route(from);
             }
             TtmqoPayload::SharedRows {
                 epoch_ms,
@@ -829,7 +878,9 @@ impl NodeApp for TtmqoApp {
     ) {
         // Exploit the broadcast nature of the channel: a neighbour's result
         // frame reveals exactly which queries it has data for, keeping the
-        // DAG's has-data knowledge fresh at zero radio cost.
+        // DAG's has-data knowledge fresh at zero radio cost. Overhearing is
+        // also proof of life for the parent failure detector.
+        self.dag.record_heard(from);
         match payload {
             TtmqoPayload::SharedRows { entries, .. } => {
                 let qids: Vec<QueryId> = entries
@@ -844,8 +895,25 @@ impl NodeApp for TtmqoApp {
                 self.dag.record_has_data(from, qids.clone());
                 self.request_unknown_queries(_ctx, qids.iter());
             }
+            TtmqoPayload::NoRoute => {
+                self.dag.record_no_route(from);
+            }
             _ => {}
         }
+    }
+
+    fn on_send_failed(
+        &mut self,
+        _ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        dest: NodeId,
+        _kind: MsgKind,
+    ) {
+        // A whole unicast retry budget went unacknowledged: the strongest
+        // dead-parent evidence the radio can give. Enough consecutive
+        // failures (with nothing overheard in between) and the parent is
+        // excluded from routing; the next epoch's rows re-elect among the
+        // surviving upper neighbours.
+        self.dag.record_send_failure(dest);
     }
 }
 

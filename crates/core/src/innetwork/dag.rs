@@ -23,6 +23,16 @@ pub struct DagState {
     /// Queries each upper neighbour is believed to have data for
     /// (from flood piggybacks and wake-up broadcasts).
     has_data: HashMap<NodeId, BTreeSet<QueryId>>,
+    /// Failure detector: consecutive failed unicast sends (retry budget
+    /// exhausted without a link-layer acknowledgement) toward each upper
+    /// neighbour since we last heard *any* frame from it.
+    failures_since_heard: HashMap<NodeId, u32>,
+    /// Upper neighbours currently presumed dead (excluded from parent
+    /// election until heard from again).
+    dead: BTreeSet<NodeId>,
+    /// Consecutive-failure threshold before a parent is presumed dead
+    /// (0 = detector disabled, the default).
+    dead_after: u32,
 }
 
 impl DagState {
@@ -34,12 +44,89 @@ impl DagState {
             upper: upper.into_iter().map(|(n, _)| n).collect(),
             link,
             has_data: HashMap::new(),
+            failures_since_heard: HashMap::new(),
+            dead: BTreeSet::new(),
+            dead_after: 0,
         }
     }
 
     /// The upper-level neighbours.
     pub fn upper_neighbors(&self) -> &[NodeId] {
         &self.upper
+    }
+
+    /// Arms the parent failure detector: a parent whose unicast sends fail
+    /// `threshold` consecutive times (each failure is a whole retry budget
+    /// exhausted without a link-layer acknowledgement) with nothing heard
+    /// from it in between is presumed dead and excluded from parent election
+    /// until heard again. Hearing is proof of life: the radio is a broadcast
+    /// medium, so a live parent is overheard even when it talks to someone
+    /// else. `threshold == 0` disables the detector (the default), leaving
+    /// parent choice byte-identical to the pre-fault-subsystem behaviour.
+    pub fn set_failure_detector(&mut self, threshold: u32) {
+        self.dead_after = threshold;
+        if threshold == 0 {
+            self.dead.clear();
+            self.failures_since_heard.clear();
+        }
+    }
+
+    /// Records one failed unicast send toward `parent` (the engine's
+    /// `on_send_failed` feedback: every retry went unacknowledged). With the
+    /// failure detector armed, enough consecutive failures mark the parent
+    /// dead. Returns `true` if this failure crossed the threshold (the
+    /// caller may want to log or re-route the next message).
+    pub fn record_send_failure(&mut self, parent: NodeId) -> bool {
+        if self.dead_after == 0 || !self.upper.contains(&parent) {
+            return false;
+        }
+        let failures = self.failures_since_heard.entry(parent).or_insert(0);
+        *failures += 1;
+        if *failures >= self.dead_after && !self.dead.contains(&parent) {
+            self.dead.insert(parent);
+            return true;
+        }
+        false
+    }
+
+    /// Records a neighbour's explicit no-route resignation: an alive parent
+    /// with no path toward the base station is as useless as a dead one, but
+    /// unlike a crashed node it keeps acknowledging frames, so only this
+    /// announcement reveals it. It is revived like a dead parent: by hearing
+    /// result traffic from it again. Ignored while the detector is disabled.
+    pub fn record_no_route(&mut self, neighbor: NodeId) {
+        if self.dead_after == 0 || !self.upper.contains(&neighbor) {
+            return;
+        }
+        self.failures_since_heard.remove(&neighbor);
+        self.dead.insert(neighbor);
+    }
+
+    /// Records that *any* frame was heard from `neighbor` (message or
+    /// overhear): resets its consecutive-failure counter and revives it if
+    /// it was presumed dead — hearing a node is proof of life.
+    pub fn record_heard(&mut self, neighbor: NodeId) {
+        if self.dead_after == 0 {
+            return;
+        }
+        self.failures_since_heard.remove(&neighbor);
+        self.dead.remove(&neighbor);
+    }
+
+    /// Whether `neighbor` is currently presumed dead.
+    pub fn presumed_dead(&self, neighbor: NodeId) -> bool {
+        self.dead.contains(&neighbor)
+    }
+
+    /// How many upper neighbours are currently presumed dead.
+    pub fn presumed_dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Whether every upper neighbour is presumed dead — the node is orphaned
+    /// and has no live route toward the base station.
+    pub fn is_orphaned(&self) -> bool {
+        !self.upper.is_empty() && self.dead.len() == self.upper.len()
     }
 
     /// Records (replaces) the set of queries `neighbor` has data for.
@@ -66,20 +153,26 @@ impl DagState {
     /// Greedy set cover: repeatedly pick the upper neighbour with data for
     /// the most still-uncovered queries (ties broken by link quality, then by
     /// node id for determinism). Queries no neighbour has data for are
-    /// assigned to the best-link neighbour. Returns `(parent, responsible
+    /// assigned to the best-link neighbour. Neighbours presumed dead by the
+    /// failure detector are excluded. Returns `(parent, responsible
     /// query subset)` pairs — one pair means unicast, several mean one
     /// multicast with split responsibility; empty only when the node has no
-    /// upper neighbours at all.
+    /// (live) upper neighbours at all.
     pub fn choose_parents(&self, queries: &BTreeSet<QueryId>) -> Vec<(NodeId, BTreeSet<QueryId>)> {
-        if self.upper.is_empty() || queries.is_empty() {
+        let live: Vec<NodeId> = self
+            .upper
+            .iter()
+            .copied()
+            .filter(|n| !self.dead.contains(n))
+            .collect();
+        if live.is_empty() || queries.is_empty() {
             return Vec::new();
         }
         let mut assignment: BTreeMap<NodeId, BTreeSet<QueryId>> = BTreeMap::new();
         let mut remaining: BTreeSet<QueryId> = queries.clone();
 
         while !remaining.is_empty() {
-            let (best, overlap) = self
-                .upper
+            let (best, overlap) = live
                 .iter()
                 .map(|&n| {
                     let overlap: BTreeSet<QueryId> = self
@@ -99,11 +192,11 @@ impl DagState {
                         })
                         .then_with(|| b.0.cmp(&a.0)) // lower id wins ties
                 })
-                .expect("upper list is non-empty");
+                .expect("live list is non-empty");
 
             if overlap.is_empty() {
                 // Nobody has data for what's left: hand it to the best link.
-                let fallback = self.best_link();
+                let fallback = self.best_link_among(&live);
                 assignment
                     .entry(fallback)
                     .or_default()
@@ -123,8 +216,8 @@ impl DagState {
         self.link.get(&n).copied().unwrap_or(0.0)
     }
 
-    fn best_link(&self) -> NodeId {
-        self.upper
+    fn best_link_among(&self, candidates: &[NodeId]) -> NodeId {
+        candidates
             .iter()
             .copied()
             .max_by(|&a, &b| {
@@ -133,7 +226,7 @@ impl DagState {
                     .expect("link qualities are finite")
                     .then_with(|| b.0.cmp(&a.0))
             })
-            .expect("upper list is non-empty")
+            .expect("candidate list is non-empty")
     }
 }
 
@@ -239,5 +332,114 @@ mod tests {
         d.record_has_data(NodeId(2), qs(&[10, 11]));
         d.record_has_data(NodeId(2), qs(&[11]));
         assert_eq!(d.known_data(NodeId(2)).unwrap(), &qs(&[11]));
+    }
+
+    #[test]
+    fn detector_disabled_never_marks_dead() {
+        let mut d = dag();
+        for _ in 0..100 {
+            assert!(!d.record_send_failure(NodeId(1)));
+        }
+        assert!(!d.presumed_dead(NodeId(1)));
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(1), qs(&[10]))]);
+    }
+
+    #[test]
+    fn silent_parent_is_presumed_dead_and_reelection_preserves_query_awareness() {
+        let mut d = dag();
+        d.set_failure_detector(3);
+        // Node 3 is the only one known to serve query 10, but it goes silent.
+        d.record_has_data(NodeId(3), qs(&[10]));
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(3), qs(&[10]))]);
+        assert!(!d.record_send_failure(NodeId(3)));
+        assert!(!d.record_send_failure(NodeId(3)));
+        assert!(
+            d.record_send_failure(NodeId(3)),
+            "third consecutive failure crosses threshold"
+        );
+        assert!(d.presumed_dead(NodeId(3)));
+        assert_eq!(d.presumed_dead_count(), 1);
+        // Re-election skips the dead parent; among the survivors the
+        // query-aware rule still applies (2 has data for 11, so it beats the
+        // better-link node 1 for that query).
+        d.record_has_data(NodeId(2), qs(&[11]));
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(1), qs(&[10]))]);
+        assert_eq!(d.choose_parents(&qs(&[11])), vec![(NodeId(2), qs(&[11]))]);
+    }
+
+    #[test]
+    fn hearing_a_dead_parent_revives_it() {
+        let mut d = dag();
+        d.set_failure_detector(2);
+        d.record_send_failure(NodeId(1));
+        d.record_send_failure(NodeId(1));
+        assert!(d.presumed_dead(NodeId(1)));
+        d.record_heard(NodeId(1));
+        assert!(!d.presumed_dead(NodeId(1)));
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(1), qs(&[10]))]);
+    }
+
+    #[test]
+    fn hearing_resets_the_failure_counter() {
+        let mut d = dag();
+        d.set_failure_detector(3);
+        d.record_send_failure(NodeId(1));
+        d.record_send_failure(NodeId(1));
+        d.record_heard(NodeId(1)); // proof of life just in time
+        d.record_send_failure(NodeId(1));
+        d.record_send_failure(NodeId(1));
+        assert!(
+            !d.presumed_dead(NodeId(1)),
+            "counter restarted after hearing"
+        );
+    }
+
+    #[test]
+    fn all_parents_dead_means_orphaned() {
+        let mut d = dag();
+        d.set_failure_detector(1);
+        for n in [1u16, 2, 3] {
+            d.record_send_failure(NodeId(n));
+        }
+        assert!(d.is_orphaned());
+        assert!(
+            d.choose_parents(&qs(&[10])).is_empty(),
+            "no live route toward the base station"
+        );
+        d.record_heard(NodeId(2));
+        assert!(!d.is_orphaned());
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(2), qs(&[10]))]);
+    }
+
+    #[test]
+    fn no_route_resignation_excludes_an_alive_parent() {
+        let mut d = dag();
+        d.set_failure_detector(3);
+        d.record_no_route(NodeId(1));
+        assert!(d.presumed_dead(NodeId(1)));
+        // Election falls back to the best live link (2 at 0.5 beats 3 at 0.3).
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(2), qs(&[10]))]);
+        // Hearing result traffic from the resigned parent revives it.
+        d.record_heard(NodeId(1));
+        assert!(!d.presumed_dead(NodeId(1)));
+    }
+
+    #[test]
+    fn no_route_is_ignored_while_the_detector_is_disabled() {
+        let mut d = dag();
+        d.record_no_route(NodeId(1));
+        assert!(!d.presumed_dead(NodeId(1)));
+        assert_eq!(d.choose_parents(&qs(&[10])), vec![(NodeId(1), qs(&[10]))]);
+    }
+
+    #[test]
+    fn disabling_the_detector_clears_dead_state() {
+        let mut d = dag();
+        d.set_failure_detector(1);
+        d.record_send_failure(NodeId(1));
+        assert!(d.presumed_dead(NodeId(1)));
+        d.set_failure_detector(0);
+        assert!(!d.presumed_dead(NodeId(1)));
+        assert!(!d.record_send_failure(NodeId(1)));
     }
 }

@@ -69,6 +69,13 @@ pub enum TtmqoPayload {
         /// Which recipient is responsible for which queries.
         assignments: Vec<(NodeId, Vec<QueryId>)>,
     },
+    /// An orphaned node's resignation: it is alive but has no route toward
+    /// the base station (every upper neighbour presumed dead), so lower
+    /// neighbours must stop electing it as a parent until they hear result
+    /// traffic from it again. Without this announcement an orphaned node is
+    /// a silent black hole — it still acknowledges its children's unicast
+    /// frames while dropping their data (failure recovery extension).
+    NoRoute,
     /// A rebooted node heard traffic for a query it does not know and asks
     /// its neighbours for the definition (failure recovery).
     QueryRequest(QueryId),
@@ -93,6 +100,7 @@ impl TtmqoPayload {
                     + 2 * has_data.len()
             }
             TtmqoPayload::Abort(_) => 2,
+            TtmqoPayload::NoRoute => 1,
             TtmqoPayload::QueryRequest(_) => 2,
             TtmqoPayload::QueryShare(query) => {
                 8 + 4 * query.predicates().len() + if query.region().is_some() { 8 } else { 0 }

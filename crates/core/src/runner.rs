@@ -17,14 +17,14 @@ use crate::basestation::{
     OptimizerStats,
 };
 use crate::innetwork::{TtmqoApp, TtmqoConfig};
-use std::collections::BTreeMap;
-use ttmqo_query::{EpochAnswer, Query, QueryId};
+use std::collections::{BTreeMap, BTreeSet};
+use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
-    CorrelatedField, Metrics, NodeId, RadioParams, SensorField, SimConfig, SimTime, Simulator,
-    Topology, UniformField,
+    CompletenessReport, CorrelatedField, FaultPlan, Metrics, NodeId, QueryCompleteness,
+    RadioParams, SensorField, SimConfig, SimTime, Simulator, Topology, UniformField,
 };
 use ttmqo_stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
-use ttmqo_tinydb::{Command, Output, TinyDbApp, TinyDbConfig};
+use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
 
 /// Which optimization tiers run (§4's four configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -145,6 +145,14 @@ pub struct ExperimentConfig {
     /// Whether the base station feeds observed readings back into the cost
     /// model's selectivity estimator (§3.1.2's maintained statistics).
     pub adaptive_statistics: bool,
+    /// Fault-injection plan (crashes, recoveries, loss windows). Empty by
+    /// default: no fault events are scheduled, no extra randomness is drawn,
+    /// and the run is bit-identical to a build without the fault subsystem.
+    /// A non-empty plan also auto-arms the in-network parent failure
+    /// detector (unless `innetwork.dead_parent_after` was set explicitly)
+    /// and, for rewriting strategies, the base station's missing-result
+    /// repair monitor.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExperimentConfig {
@@ -162,6 +170,7 @@ impl Default for ExperimentConfig {
             adaptive_statistics: false,
             optimizer: OptimizerOptions::default(),
             innetwork: TtmqoConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -183,6 +192,8 @@ pub struct RunReport {
     pub avg_benefit_ratio: f64,
     /// Optimizer counters (None without the first tier).
     pub optimizer_stats: Option<OptimizerStats>,
+    /// Answer-completeness and repair accounting (per user query).
+    pub completeness: CompletenessReport,
 }
 
 impl RunReport {
@@ -260,24 +271,32 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
 
     if config.strategy.uses_innetwork_tier() {
         let field = build_field(config, &topo);
-        let innetwork = config.innetwork.clone();
-        let sim = Simulator::new(
+        let mut innetwork = config.innetwork.clone();
+        // Faulty runs arm the in-network parent failure detector unless the
+        // caller chose a threshold; fault-free runs keep it off, so their
+        // routing (and the golden snapshot) is untouched.
+        if !config.faults.is_empty() && innetwork.dead_parent_after == 0 {
+            innetwork.dead_parent_after = 3;
+        }
+        let mut sim = Simulator::new(
             topo.clone(),
             config.radio.clone(),
             config.sim.clone(),
             field,
             move |_, _| TtmqoApp::new(innetwork.clone()),
         );
+        sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     } else {
         let field = build_field(config, &topo);
-        let sim = Simulator::new(
+        let mut sim = Simulator::new(
             topo.clone(),
             config.radio.clone(),
             config.sim.clone(),
             field,
             |_, _| TinyDbApp::new(TinyDbConfig::default()),
         );
+        sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     }
 }
@@ -300,6 +319,197 @@ fn snapshot_at<T>(timeline: &[(u64, T)], at: u64) -> Option<&T> {
     first_after.checked_sub(1).map(|idx| &timeline[idx].1)
 }
 
+/// How many consecutive missing expected epochs trigger a Tier-1 repair.
+const REPAIR_AFTER_MISSING: u32 = 2;
+
+/// A repair whose answers never come back (e.g. the replacement flood was
+/// lost too) stops blocking further repair attempts after this long.
+const REPAIR_GRACE_MS: u64 = 8 * BASE_EPOCH_MS;
+
+/// The base station's missing-result detector: audits every user query's
+/// expected epochs as their collection windows close, and asks for a Tier-1
+/// re-optimization of the owning synthetic query when a query goes silent
+/// for [`REPAIR_AFTER_MISSING`] consecutive epochs. Armed only for faulty
+/// runs under a rewriting strategy.
+struct RepairMonitor {
+    /// Collection-window length: the epoch firing at `e` is audited once the
+    /// clock passes `e + window_ms` (its answer should have closed by then).
+    window_ms: u64,
+    /// Next epoch start (ms) to audit, per live user query.
+    audit_next: BTreeMap<QueryId, u64>,
+    /// Consecutive missing expected epochs, per live user query.
+    streaks: BTreeMap<QueryId, u32>,
+    /// Epochs answered with a non-empty result, per user query.
+    answered: BTreeMap<QueryId, BTreeSet<u64>>,
+    /// Repairs whose first post-repair answer has not arrived yet:
+    /// `(trigger ms, member user queries)`.
+    pending: Vec<(u64, Vec<QueryId>)>,
+    repairs: u64,
+    latencies_ms: Vec<u64>,
+}
+
+impl RepairMonitor {
+    fn new(window_ms: u64) -> Self {
+        RepairMonitor {
+            window_ms,
+            audit_next: BTreeMap::new(),
+            streaks: BTreeMap::new(),
+            answered: BTreeMap::new(),
+            pending: Vec::new(),
+            repairs: 0,
+            latencies_ms: Vec::new(),
+        }
+    }
+
+    fn note_posed(&mut self, q: &Query, t_ms: u64) {
+        self.audit_next
+            .insert(q.id(), q.epoch().next_fire_at(t_ms + 1));
+        self.streaks.insert(q.id(), 0);
+    }
+
+    fn note_terminated(&mut self, qid: QueryId) {
+        self.audit_next.remove(&qid);
+        self.streaks.remove(&qid);
+        self.pending.retain_mut(|(_, members)| {
+            members.retain(|m| *m != qid);
+            !members.is_empty()
+        });
+    }
+
+    fn note_answer(&mut self, uid: QueryId, epoch_ms: u64, nonempty: bool, arrival_ms: u64) {
+        if !nonempty {
+            return;
+        }
+        self.answered.entry(uid).or_default().insert(epoch_ms);
+        if let Some(pos) = self.pending.iter().position(|(_, m)| m.contains(&uid)) {
+            let (t0, _) = self.pending.remove(pos);
+            self.latencies_ms.push(arrival_ms.saturating_sub(t0));
+        }
+    }
+
+    /// Audits every epoch whose collection window closed by time `b`;
+    /// returns the user queries whose missing streak crossed the threshold.
+    fn due_repairs(&mut self, b: u64, live: &BTreeMap<QueryId, Query>) -> Vec<QueryId> {
+        self.pending
+            .retain(|(t0, _)| b.saturating_sub(*t0) <= REPAIR_GRACE_MS);
+        let mut due = Vec::new();
+        for (uid, q) in live {
+            let Some(next) = self.audit_next.get_mut(uid) else {
+                continue;
+            };
+            let step = q.epoch().as_ms();
+            let answered = self.answered.entry(*uid).or_default();
+            let streak = self.streaks.entry(*uid).or_insert(0);
+            while *next + self.window_ms <= b {
+                if answered.contains(next) {
+                    *streak = 0;
+                } else {
+                    *streak += 1;
+                }
+                *next += step;
+            }
+            if *streak >= REPAIR_AFTER_MISSING && !self.pending.iter().any(|(_, m)| m.contains(uid))
+            {
+                due.push(*uid);
+            }
+        }
+        due
+    }
+
+    fn note_repaired(&mut self, b: u64, members: &[QueryId], live: &BTreeMap<QueryId, Query>) {
+        self.repairs += 1;
+        self.pending.push((b, members.to_vec()));
+        for m in members {
+            self.streaks.insert(*m, 0);
+            if let Some(q) = live.get(m) {
+                // Give the replacement flood until its next epoch before the
+                // audit resumes counting.
+                self.audit_next.insert(*m, q.epoch().next_fire_at(b + 1));
+            }
+        }
+    }
+}
+
+/// Drains one batch of network outputs: feeds adaptive statistics, maps each
+/// answer back to the user queries it serves, and notifies the repair
+/// monitor. Attribution is incremental but identical to the bulk end-of-run
+/// mapping it replaced: an answer for epoch `e` is always emitted (and thus
+/// drained) after every workload event at or before `e` has executed, so the
+/// snapshot in force at `e` already exists, and a termination that should
+/// drop the answer (`arrival > termination`) has always been recorded by
+/// drain time.
+#[allow(clippy::too_many_arguments)]
+fn ingest_outputs(
+    fresh: Vec<ttmqo_sim::OutputRecord<Output>>,
+    adaptive: bool,
+    optimizer: &mut Option<BaseStationOptimizer>,
+    snapshots: &[(u64, MappingSnapshot)],
+    terminated_at: &BTreeMap<QueryId, u64>,
+    topo: &Topology,
+    answers: &mut BTreeMap<QueryId, Vec<(u64, EpochAnswer)>>,
+    mut monitor: Option<&mut RepairMonitor>,
+) {
+    for record in fresh {
+        let Output::Answer {
+            qid,
+            epoch_ms,
+            answer,
+        } = &record.output;
+        // §3.1.2 statistics maintenance: learn the data distribution from
+        // the result rows the base station receives, so later decisions use
+        // it.
+        if adaptive {
+            if let Some(opt) = optimizer.as_mut() {
+                if let EpochAnswer::Rows(rows) = answer {
+                    for row in rows {
+                        for (attr, value) in row.readings.iter() {
+                            opt.observe_reading(attr, value);
+                        }
+                    }
+                }
+            }
+        }
+        // Mapping in force at the answered epoch's start.
+        let Some(snap) = snapshot_at(snapshots, *epoch_ms) else {
+            continue;
+        };
+        for (uid, (syn_id, syn_q, user_q)) in snap {
+            if *syn_id != *qid {
+                continue;
+            }
+            // The epoch started while `uid` was live, but the answer is only
+            // emitted at the epoch's close — drop it if the user terminated
+            // in between. Answers arriving at the termination instant itself
+            // still belong to the user (it was live when they materialized).
+            if terminated_at
+                .get(uid)
+                .is_some_and(|&term_ms| record.time.as_ms() > term_ms)
+            {
+                continue;
+            }
+            let position_of = |node: u16| {
+                let id = NodeId(node);
+                (id.index() < topo.node_count()).then(|| {
+                    let p = topo.position(id);
+                    (p.x, p.y)
+                })
+            };
+            if let Some(mapped) =
+                map_epoch_answer_at(user_q, syn_q, *epoch_ms, answer, &position_of)
+            {
+                let nonempty = match &mapped {
+                    EpochAnswer::Rows(rows) => !rows.is_empty(),
+                    EpochAnswer::Aggregates(vals) => !vals.is_empty(),
+                };
+                if let Some(mon) = monitor.as_deref_mut() {
+                    mon.note_answer(*uid, *epoch_ms, nonempty, record.time.as_ms());
+                }
+                answers.entry(*uid).or_default().push((*epoch_ms, mapped));
+            }
+        }
+    }
+}
+
 fn drive<A>(
     config: &ExperimentConfig,
     topo: &Topology,
@@ -312,6 +522,15 @@ where
     let rewriting = config.strategy.uses_basestation_tier();
     let mut optimizer = rewriting.then(|| build_optimizer(config, topo));
 
+    // Fault bookkeeping: the same deterministic schedule the engine executes,
+    // used for completeness expectations, plus the repair monitor (armed only
+    // for faulty runs with the rewriting tier — fault-free runs take exactly
+    // the pre-fault code path).
+    let schedule = (!config.faults.is_empty()).then(|| config.faults.materialize(topo));
+    let window_ms =
+        (topo.max_level() as u64 + 1) * config.innetwork.slot_ms + config.innetwork.jitter_ms + 32;
+    let mut monitor = (rewriting && schedule.is_some()).then(|| RepairMonitor::new(window_ms));
+
     // Identity bookkeeping for non-rewriting strategies.
     let mut live_users: BTreeMap<QueryId, Query> = BTreeMap::new();
     // When each user query was terminated, ms. TinyDB labels an answer with
@@ -320,6 +539,9 @@ where
     // contains the user, yet by the time the answer exists the user is gone.
     // Attribution must also check the answer's *arrival* time against this.
     let mut terminated_at: BTreeMap<QueryId, u64> = BTreeMap::new();
+    // Every query ever posed, with its pose time (completeness accounting).
+    let mut posed_at: BTreeMap<QueryId, u64> = BTreeMap::new();
+    let mut posed_query: BTreeMap<QueryId, Query> = BTreeMap::new();
 
     let mut snapshots: Vec<(u64, MappingSnapshot)> = Vec::new();
     let mut weighted_syn = 0.0;
@@ -349,49 +571,109 @@ where
         snapshots.push((t, snap));
     };
 
-    let mut collected: Vec<ttmqo_sim::OutputRecord<Output>> = Vec::new();
-    for event in events {
-        let t = event.at;
-        // Advance the network to the event time.
-        sim.run_until(t);
-        // §3.1.2 statistics maintenance: learn the data distribution from
-        // the result rows the base station has already received, so the
-        // decision for *this* event uses it.
-        let fresh = sim.take_outputs();
-        if config.adaptive_statistics {
-            if let Some(opt) = optimizer.as_mut() {
-                for record in &fresh {
-                    let Output::Answer { answer, .. } = &record.output;
-                    if let EpochAnswer::Rows(rows) = answer {
-                        for row in rows {
-                            for (attr, value) in row.readings.iter() {
-                                opt.observe_reading(attr, value);
-                            }
-                        }
+    let mut answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>> = BTreeMap::new();
+    // Workload events, then one final advance to the end of the run.
+    for step in events.into_iter().map(Some).chain(std::iter::once(None)) {
+        let t = step.as_ref().map_or(config.duration, |e| e.at);
+
+        // With the repair monitor armed, advance in base-epoch steps so the
+        // base station audits for missing answers while time passes; without
+        // it, jump straight to the event (the pre-fault behaviour).
+        if let Some(mon) = monitor.as_mut() {
+            let mut b = (last_t / BASE_EPOCH_MS + 1) * BASE_EPOCH_MS;
+            while b < t.as_ms() {
+                sim.run_until(SimTime::from_ms(b));
+                let fresh = sim.take_outputs();
+                ingest_outputs(
+                    fresh,
+                    config.adaptive_statistics,
+                    &mut optimizer,
+                    &snapshots,
+                    &terminated_at,
+                    topo,
+                    &mut answers,
+                    Some(mon),
+                );
+                let due = mon.due_repairs(b, &live_users);
+                let mut repaired = false;
+                for uid in due {
+                    let Some(opt) = optimizer.as_mut() else { break };
+                    let Some(syn) = opt.mapping(uid) else {
+                        continue;
+                    };
+                    let members: Vec<QueryId> = opt
+                        .synthetic(syn)
+                        .map(|sq| sq.members().collect())
+                        .unwrap_or_default();
+                    // Account the time-weighted stats up to the repair.
+                    let dt = (b - last_t) as f64;
+                    weighted_syn += current_syn_count as f64 * dt;
+                    weighted_ratio += current_ratio * dt;
+                    last_t = b;
+                    for op in opt.reoptimize(syn) {
+                        let cmd = match op {
+                            NetworkOp::Inject(q) => Command::Pose(q),
+                            NetworkOp::Abort(id) => Command::Terminate(id),
+                        };
+                        sim.schedule_command(SimTime::from_ms(b), NodeId::BASE_STATION, cmd);
                     }
+                    current_syn_count = opt.synthetic_count();
+                    current_ratio = opt.benefit_ratio();
+                    mon.note_repaired(b, &members, &live_users);
+                    repaired = true;
                 }
+                if repaired {
+                    take_snapshot(b, &optimizer, &live_users, &mut snapshots);
+                }
+                b += BASE_EPOCH_MS;
             }
         }
-        collected.extend(fresh);
+
+        // Advance the network to the event time (or the end of the run) and
+        // attribute whatever answers it produced.
+        sim.run_until(t);
+        let fresh = sim.take_outputs();
+        ingest_outputs(
+            fresh,
+            config.adaptive_statistics,
+            &mut optimizer,
+            &snapshots,
+            &terminated_at,
+            topo,
+            &mut answers,
+            monitor.as_mut(),
+        );
         // Accumulate time-weighted stats over [last_t, t).
         let dt = (t.as_ms() - last_t) as f64;
         weighted_syn += current_syn_count as f64 * dt;
         weighted_ratio += current_ratio * dt;
         last_t = t.as_ms();
 
+        let Some(event) = step else { break };
+
         let ops: Vec<NetworkOp> = match (&mut optimizer, event.action) {
             (Some(opt), WorkloadAction::Pose(q)) => {
                 live_users.insert(q.id(), q.clone());
+                posed_at.insert(q.id(), t.as_ms());
+                posed_query.insert(q.id(), q.clone());
+                if let Some(mon) = monitor.as_mut() {
+                    mon.note_posed(&q, t.as_ms());
+                }
                 opt.insert(q)
                     .expect("workload ids are unique and unreserved")
             }
             (Some(opt), WorkloadAction::Terminate(qid)) => {
                 live_users.remove(&qid);
                 terminated_at.insert(qid, t.as_ms());
+                if let Some(mon) = monitor.as_mut() {
+                    mon.note_terminated(qid);
+                }
                 opt.terminate(qid)
             }
             (None, WorkloadAction::Pose(q)) => {
                 live_users.insert(q.id(), q.clone());
+                posed_at.insert(q.id(), t.as_ms());
+                posed_query.insert(q.id(), q.clone());
                 vec![NetworkOp::Inject(q)]
             }
             (None, WorkloadAction::Terminate(qid)) => {
@@ -415,55 +697,79 @@ where
         take_snapshot(t.as_ms(), &optimizer, &live_users, &mut snapshots);
     }
 
-    sim.run_until(config.duration);
-    let dt = (config.duration.as_ms() - last_t) as f64;
-    weighted_syn += current_syn_count as f64 * dt;
-    weighted_ratio += current_ratio * dt;
-
-    // Map network answers (per injected query) back to user answers.
-    collected.extend(sim.take_outputs());
-    let mut answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>> = BTreeMap::new();
-    for record in collected {
-        let Output::Answer {
-            qid,
-            epoch_ms,
-            answer,
-        } = record.output;
-        // Mapping in force at the answered epoch's start.
-        let Some(snap) = snapshot_at(&snapshots, epoch_ms) else {
-            continue;
-        };
-        for (uid, (syn_id, syn_q, user_q)) in snap {
-            if *syn_id != qid {
-                continue;
-            }
-            // The epoch started while `uid` was live, but the answer is only
-            // emitted at the epoch's close — drop it if the user terminated
-            // in between. Answers arriving at the termination instant itself
-            // still belong to the user (it was live when they materialized).
-            if terminated_at
-                .get(uid)
-                .is_some_and(|&term_ms| record.time.as_ms() > term_ms)
-            {
-                continue;
-            }
-            let position_of = |node: u16| {
-                let id = NodeId(node);
-                (id.index() < topo.node_count()).then(|| {
-                    let p = topo.position(id);
-                    (p.x, p.y)
-                })
-            };
-            if let Some(mapped) =
-                map_epoch_answer_at(user_q, syn_q, epoch_ms, &answer, &position_of)
-            {
-                answers.entry(*uid).or_default().push((epoch_ms, mapped));
-            }
-        }
-    }
     for per_query in answers.values_mut() {
         per_query.sort_by_key(|(e, _)| *e);
     }
+
+    // Whole-run answer-completeness accounting: for every expected epoch
+    // (query live, collection window fits the run, at least one statically
+    // matching node alive) check whether a non-empty answer was delivered.
+    // "Statically matching" = id/position can satisfy the query; value
+    // predicates depend on readings, so row expectations are an upper bound
+    // and exact for predicate-free acquisition queries.
+    let srt = Srt::build(topo);
+    let mut per_query: BTreeMap<QueryId, QueryCompleteness> = BTreeMap::new();
+    for (uid, q) in &posed_query {
+        let pose = posed_at[uid];
+        let end = terminated_at
+            .get(uid)
+            .copied()
+            .unwrap_or(u64::MAX)
+            .min(config.duration.as_ms());
+        let static_matching: Vec<NodeId> = topo
+            .nodes()
+            .filter(|&n| n != NodeId::BASE_STATION && srt.node_matches(n, q))
+            .collect();
+        let by_epoch: BTreeMap<u64, (bool, u64)> = answers
+            .get(uid)
+            .map(|v| {
+                v.iter()
+                    .map(|(e, a)| {
+                        let info = match a {
+                            EpochAnswer::Rows(rows) => (!rows.is_empty(), rows.len() as u64),
+                            EpochAnswer::Aggregates(vals) => (!vals.is_empty(), 0),
+                        };
+                        (*e, info)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let is_acquisition = matches!(q.selection(), Selection::Attributes(_));
+        let mut qc = QueryCompleteness::default();
+        let step = q.epoch().as_ms();
+        let mut e = q.epoch().next_fire_at(pose + 1);
+        while e + window_ms < end {
+            let alive = static_matching
+                .iter()
+                .filter(|&&n| schedule.as_ref().is_none_or(|s| s.alive_at(n, e)))
+                .count() as u64;
+            if alive > 0 {
+                qc.expected_epochs += 1;
+                if is_acquisition {
+                    qc.expected_rows += alive;
+                }
+                if let Some((nonempty, rows)) = by_epoch.get(&e) {
+                    if *nonempty {
+                        qc.answered_epochs += 1;
+                    }
+                    qc.delivered_rows += rows;
+                }
+            }
+            e += step;
+        }
+        per_query.insert(*uid, qc);
+    }
+    let completeness = match &monitor {
+        Some(mon) => CompletenessReport {
+            per_query,
+            repairs_triggered: mon.repairs,
+            repair_latency_ms: mon.latencies_ms.clone(),
+        },
+        None => CompletenessReport {
+            per_query,
+            ..CompletenessReport::default()
+        },
+    };
 
     let total = config.duration.as_ms().max(1) as f64;
     RunReport {
@@ -473,6 +779,7 @@ where
         avg_synthetic_count: weighted_syn / total,
         avg_benefit_ratio: weighted_ratio / total,
         optimizer_stats: optimizer.map(|o| o.stats()),
+        completeness,
     }
 }
 

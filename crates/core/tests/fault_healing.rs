@@ -1,0 +1,176 @@
+//! Fault-injection acceptance tests: self-healing routing plus base-station
+//! repair must bring answer completeness back after node crashes, the whole
+//! faulty run must be deterministic under a fixed seed, and the completeness
+//! accounting must read 1.0 on a healthy lossless run.
+
+use ttmqo_core::{run_experiment, ExperimentConfig, RunReport, Strategy, WorkloadEvent};
+use ttmqo_query::{parse_query, EpochAnswer, Query, QueryId};
+use ttmqo_sim::{FaultPlan, NodeId, RadioParams, SimConfig, SimTime};
+
+const EPOCH: u64 = 2048;
+
+fn q(id: u64, text: &str) -> Query {
+    parse_query(QueryId(id), text).unwrap()
+}
+
+fn quiet_sim() -> SimConfig {
+    SimConfig {
+        maintenance_interval_ms: None,
+        ..SimConfig::default()
+    }
+}
+
+/// Six scattered sensing nodes of the 8×8 grid (≈10% of its 63 non-base
+/// nodes), none of them the base station's whole neighbourhood.
+fn ten_percent_dead() -> Vec<NodeId> {
+    [10u16, 19, 28, 37, 46, 55].map(NodeId).to_vec()
+}
+
+fn faulty_8x8_config(duration_epochs: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy: Strategy::TwoTier,
+        grid_n: 8,
+        duration: SimTime::from_ms(duration_epochs * EPOCH),
+        radio: RadioParams::lossless(),
+        sim: quiet_sim(),
+        faults: FaultPlan::scripted(
+            ten_percent_dead()
+                .into_iter()
+                .map(|n| (n, 8 * EPOCH, None))
+                .collect(),
+        ),
+        ..ExperimentConfig::default()
+    }
+}
+
+fn run_faulty_8x8(duration_epochs: u64) -> RunReport {
+    let workload = vec![WorkloadEvent::pose(
+        0,
+        q(1, "select light epoch duration 2048"),
+    )];
+    run_experiment(&faulty_8x8_config(duration_epochs), &workload)
+}
+
+#[test]
+fn ten_percent_crashes_recover_to_ninety_percent_survivor_completeness() {
+    let report = run_faulty_8x8(40);
+    let answers = &report.answers[&QueryId(1)];
+    let survivors = 63 - ten_percent_dead().len(); // 57
+
+    // Tail window: well after the crashes (epoch 8) and the self-healing
+    // re-election that follows. Each tail epoch must carry at least 90% of
+    // the surviving nodes' rows.
+    let tail: Vec<(u64, usize)> = answers
+        .iter()
+        .filter(|(e, _)| *e >= 28 * EPOCH)
+        .map(|(e, a)| {
+            let EpochAnswer::Rows(rows) = a else {
+                panic!("acquisition query answers in rows")
+            };
+            (*e, rows.len())
+        })
+        .collect();
+    assert!(tail.len() >= 8, "tail window has epochs: {tail:?}");
+    let floor = (0.9 * survivors as f64).ceil() as usize;
+    for (e, rows) in &tail {
+        assert!(
+            *rows >= floor,
+            "epoch {e}: {rows} rows < {floor} (90% of {survivors} survivors); tail = {tail:?}"
+        );
+    }
+    // No dead node contributes after its crash.
+    let dead = ten_percent_dead();
+    for (e, a) in answers.iter().filter(|(e, _)| *e >= 10 * EPOCH) {
+        let EpochAnswer::Rows(rows) = a else {
+            panic!("acquisition query answers in rows")
+        };
+        for row in rows {
+            assert!(
+                !dead.contains(&NodeId(row.node)),
+                "epoch {e}: row from dead node {}",
+                row.node
+            );
+        }
+    }
+
+    // Completeness accounting reflects the outage-and-recovery shape:
+    // expectations track survivors only, and the whole-run row ratio stays
+    // high because the outage is short relative to the run.
+    let qc = report.completeness.per_query[&QueryId(1)];
+    assert!(qc.expected_epochs > 0 && qc.expected_rows > 0);
+    assert!(
+        qc.row_ratio() > 0.75,
+        "whole-run row completeness {} too low: {qc:?}",
+        qc.row_ratio()
+    );
+}
+
+#[test]
+fn faulty_run_is_deterministic_under_a_fixed_seed() {
+    let a = run_faulty_8x8(24);
+    let b = run_faulty_8x8(24);
+    assert_eq!(a.metrics.snapshot(), b.metrics.snapshot());
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.completeness, b.completeness);
+    assert_eq!(a.optimizer_stats, b.optimizer_stats);
+}
+
+#[test]
+fn base_station_repairs_a_query_whose_only_source_died() {
+    // The sole node satisfying `nodeid = 15` crashes without recovery: its
+    // synthetic query goes silent, the missing-result detector's streak
+    // crosses the threshold, and the base station re-optimizes (re-floods
+    // the query under a fresh synthetic id). The data cannot come back — the
+    // node is dead — so this pins the detector/repair path itself.
+    let config = ExperimentConfig {
+        strategy: Strategy::TwoTier,
+        grid_n: 4,
+        duration: SimTime::from_ms(30 * EPOCH),
+        radio: RadioParams::lossless(),
+        sim: quiet_sim(),
+        faults: FaultPlan::scripted(vec![(NodeId(15), 6 * EPOCH, None)]),
+        ..ExperimentConfig::default()
+    };
+    let workload = vec![WorkloadEvent::pose(
+        0,
+        q(1, "select light where nodeid = 15 epoch duration 2048"),
+    )];
+    let report = run_experiment(&config, &workload);
+
+    assert!(
+        report.completeness.repairs_triggered >= 1,
+        "persistently missing results must trigger a Tier-1 re-optimization: {:?}",
+        report.completeness
+    );
+    let stats = report.optimizer_stats.expect("rewriting strategy");
+    assert!(stats.reoptimizations >= 1);
+    // Expected epochs stop accruing once no statically matching node is
+    // alive, so the accounting does not blame the network for a dead source.
+    let qc = report.completeness.per_query[&QueryId(1)];
+    assert!(
+        qc.expected_epochs < 20,
+        "expectations must stop at the crash: {qc:?}"
+    );
+}
+
+#[test]
+fn healthy_lossless_run_reports_full_completeness() {
+    let config = ExperimentConfig {
+        strategy: Strategy::TwoTier,
+        grid_n: 4,
+        duration: SimTime::from_ms(16 * EPOCH),
+        radio: RadioParams::lossless(),
+        sim: quiet_sim(),
+        ..ExperimentConfig::default()
+    };
+    let workload = vec![WorkloadEvent::pose(
+        0,
+        q(1, "select light epoch duration 2048"),
+    )];
+    let report = run_experiment(&config, &workload);
+    let qc = report.completeness.per_query[&QueryId(1)];
+    assert_eq!(qc.epoch_ratio(), 1.0, "{qc:?}");
+    assert_eq!(qc.row_ratio(), 1.0, "{qc:?}");
+    assert_eq!(report.completeness.repairs_triggered, 0);
+    assert_eq!(report.metrics.orphaned_drops(), 0);
+}

@@ -41,6 +41,7 @@
 //!   fan-out, capacity recycled with the slab slot) instead of a global
 //!   hash set, so the transmit/delivery paths do no hashing.
 
+use crate::faults::{FaultOverlay, FaultPlan};
 use crate::field::SensorField;
 use crate::metrics::Metrics;
 use crate::radio::{Destination, MsgKind, RadioParams};
@@ -96,6 +97,20 @@ pub trait NodeApp: Sized {
         payload: &Self::Payload,
     ) {
         let _ = (ctx, from, kind, payload);
+    }
+
+    /// Called when a unicast frame to `dest` exhausted its retry budget
+    /// without being received — the link-layer acknowledgement never came
+    /// back, because the receiver is dead, asleep, or the channel dropped
+    /// every attempt. This is the only delivery feedback the radio gives;
+    /// broadcast and multicast frames are unacknowledged. Default: ignore.
+    fn on_send_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Payload, Self::Output>,
+        dest: NodeId,
+        kind: MsgKind,
+    ) {
+        let _ = (ctx, dest, kind);
     }
 }
 
@@ -185,6 +200,13 @@ impl<'a, P, O> Ctx<'a, P, O> {
     pub fn read_sensor(&mut self, attr: Attribute) -> f64 {
         self.metrics.record_sample();
         self.field.reading(self.node, attr, self.now())
+    }
+
+    /// Records that this node is holding results it has no live route for
+    /// (orphaned by upstream failures). Feeds the completeness accounting's
+    /// orphaned-node counters.
+    pub fn record_orphaned(&mut self) {
+        self.metrics.record_orphaned_drop(self.node.index());
     }
 
     /// Puts the radio to sleep until `now + duration_ms`: no frames are
@@ -398,6 +420,10 @@ pub struct Simulator<A: NodeApp> {
     sleep_until_us: Vec<u64>,
     /// Per-node in-flight incoming frames `(start_us, end_us, frame_idx)`.
     incoming: Vec<Vec<(u64, u64, usize)>>,
+    /// Loss-side fault elements, installed by [`Simulator::install_fault_plan`].
+    /// `None` (the default) keeps the delivery path byte-identical to a
+    /// fault-free engine: one branch, no extra RNG draws.
+    faults: Option<FaultOverlay>,
     now_us: u64,
     seq: u64,
     rng_state: u64,
@@ -437,6 +463,7 @@ impl<A: NodeApp> Simulator<A> {
             tx_ready_at_us: vec![0; n],
             sleep_until_us: vec![0; n],
             incoming: vec![Vec::new(); n],
+            faults: None,
             now_us: 0,
             seq: 0,
             rng_state,
@@ -522,6 +549,25 @@ impl<A: NodeApp> Simulator<A> {
     /// Whether `node` is currently failed.
     pub fn is_failed(&self, node: NodeId) -> bool {
         self.failed[node.index()]
+    }
+
+    /// Applies a [`FaultPlan`]: schedules its crash/recovery timeline
+    /// (materialized against this simulator's topology with the plan's own
+    /// seed) and installs its loss overlay on the delivery path. An empty
+    /// plan is a no-op — the event queue, RNG stream and delivery path stay
+    /// exactly as they were, so fault-free runs are bit-for-bit unchanged.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let schedule = plan.materialize(&self.topology);
+        for c in schedule.crashes() {
+            self.schedule_failure(SimTime::from_ms(c.at_ms), c.node);
+            if let Some(r) = c.recover_at_ms {
+                self.schedule_recovery(SimTime::from_ms(r), c.node);
+            }
+        }
+        self.faults = plan.overlay(&self.topology);
     }
 
     fn push_event(&mut self, time_us: u64, kind: EventKind<A::Command>) {
@@ -707,6 +753,7 @@ impl<A: NodeApp> Simulator<A> {
                         app.on_overhear(&mut ctx, from, kind, &payload)
                     }
                 }
+                Callback::SendFailed { dest, kind } => app.on_send_failed(&mut ctx, dest, kind),
             }
         }
         for action in actions.drain(..) {
@@ -899,7 +946,7 @@ impl<A: NodeApp> Simulator<A> {
             }
             self.metrics.record_rx(receiver.index(), dur_ms);
 
-            let loss_prob = if self.radio.distance_loss {
+            let mut loss_prob = if self.radio.distance_loss {
                 let d = self
                     .topology
                     .position(src)
@@ -908,6 +955,9 @@ impl<A: NodeApp> Simulator<A> {
             } else {
                 self.radio.loss_rate
             };
+            if let Some(overlay) = &self.faults {
+                loss_prob = overlay.loss_prob(loss_prob, receiver.index(), self.now_us);
+            }
             let lost =
                 !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
             if corrupted {
@@ -962,6 +1012,15 @@ impl<A: NodeApp> Simulator<A> {
     ) {
         if retries_left == 0 {
             self.metrics.record_gave_up();
+            if !self.failed[src.index()] {
+                self.dispatch_callback(
+                    src,
+                    Callback::SendFailed {
+                        dest: receiver,
+                        kind,
+                    },
+                );
+            }
             return;
         }
         self.metrics.record_retransmission();
@@ -1004,6 +1063,10 @@ enum Callback<C, P> {
         kind: MsgKind,
         payload: Arc<P>,
         intended: bool,
+    },
+    SendFailed {
+        dest: NodeId,
+        kind: MsgKind,
     },
 }
 

@@ -70,6 +70,7 @@
 
 mod energy;
 mod engine;
+mod faults;
 mod field;
 mod metrics;
 mod radio;
@@ -78,8 +79,11 @@ mod topology;
 
 pub use energy::EnergyProfile;
 pub use engine::{Ctx, EngineStats, NodeApp, OutputRecord, SimConfig, Simulator};
+pub use faults::{
+    CrashEvent, FaultPlan, FaultSchedule, LinkDegradation, RandomCrashes, RegionLossOverride,
+};
 pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorField, UniformField};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{CompletenessReport, Metrics, MetricsSnapshot, QueryCompleteness};
 pub use radio::{Destination, MsgKind, RadioParams};
 pub use time::SimTime;
 pub use topology::{NodeId, Position, Topology, TopologyError, GRID_SPACING_FT, RADIO_RANGE_FT};

@@ -10,6 +10,7 @@ use crate::radio::MsgKind;
 use crate::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt;
+use ttmqo_query::QueryId;
 
 /// Largest sleep-accounting error attributable to f64 rounding of µs→ms
 /// conversions; anything more negative than this is a logic bug.
@@ -36,6 +37,11 @@ pub struct Metrics {
     losses: u64,
     /// Unicast frames abandoned after exhausting retries.
     gave_up: u64,
+    /// Results dropped at nodes that had data but no live route toward the
+    /// base station (orphaned by upstream failures).
+    orphaned_drops: u64,
+    /// Which nodes ever orphan-dropped (indexed by node id).
+    orphaned: Vec<bool>,
     /// Number of sensor samples taken.
     samples: u64,
     /// End of the measured window.
@@ -49,6 +55,7 @@ impl Metrics {
             tx_busy_ms: vec![0.0; nodes],
             rx_busy_ms: vec![0.0; nodes],
             sleep_ms: vec![0.0; nodes],
+            orphaned: vec![false; nodes],
             ..Default::default()
         }
     }
@@ -96,6 +103,13 @@ impl Metrics {
 
     pub(crate) fn record_gave_up(&mut self) {
         self.gave_up += 1;
+    }
+
+    pub(crate) fn record_orphaned_drop(&mut self, node: usize) {
+        self.orphaned_drops += 1;
+        if let Some(slot) = self.orphaned.get_mut(node) {
+            *slot = true;
+        }
     }
 
     pub(crate) fn record_sample(&mut self) {
@@ -173,6 +187,17 @@ impl Metrics {
         self.gave_up
     }
 
+    /// Results dropped at nodes with data but no live route toward the base
+    /// station.
+    pub fn orphaned_drops(&self) -> u64 {
+        self.orphaned_drops
+    }
+
+    /// Number of distinct nodes that ever orphan-dropped a result.
+    pub fn orphaned_node_count(&self) -> u64 {
+        self.orphaned.iter().filter(|&&o| o).count() as u64
+    }
+
     /// Sensor samples taken.
     pub fn samples(&self) -> u64 {
         self.samples
@@ -232,6 +257,8 @@ impl Metrics {
             collisions: self.collisions,
             losses: self.losses,
             gave_up: self.gave_up,
+            orphaned_drops: self.orphaned_drops,
+            orphaned_nodes: self.orphaned_node_count(),
             samples: self.samples,
             horizon_ms: self.horizon.as_ms(),
         }
@@ -266,6 +293,11 @@ pub struct MetricsSnapshot {
     pub losses: u64,
     /// Unicast frames abandoned after exhausting retries.
     pub gave_up: u64,
+    /// Results dropped at nodes with data but no live route to the base
+    /// station.
+    pub orphaned_drops: u64,
+    /// Distinct nodes that ever orphan-dropped a result.
+    pub orphaned_nodes: u64,
     /// Sensor samples taken.
     pub samples: u64,
     /// End of the measured window, ms.
@@ -281,6 +313,103 @@ impl MetricsSnapshot {
     /// Total bytes transmitted, all kinds.
     pub fn tx_bytes_total(&self) -> u64 {
         self.tx_bytes.values().sum()
+    }
+}
+
+/// Answer-completeness accounting for one user query: how much of what the
+/// network *should* have delivered actually reached the outside world.
+///
+/// Two levels of strictness:
+///
+/// * **epoch completeness** — the fraction of expected result epochs for
+///   which a *non-empty* answer was delivered (the base station closes every
+///   epoch and emits an answer even when nothing arrived, so an empty answer
+///   is indistinguishable from total upstream loss). Expected epochs only
+///   count epochs where at least one statically matching node was alive.
+/// * **row completeness** — delivered result rows over the rows the
+///   statically matching, *surviving* nodes would have produced. This is
+///   the metric that degrades when subtrees are orphaned and recovers when
+///   routes heal.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryCompleteness {
+    /// Result epochs the query should have produced over its live window.
+    pub expected_epochs: u64,
+    /// Epochs for which a non-empty answer was delivered.
+    pub answered_epochs: u64,
+    /// Rows expected from statically matching nodes alive at each epoch.
+    pub expected_rows: u64,
+    /// Rows actually delivered in the query's answers.
+    pub delivered_rows: u64,
+}
+
+impl QueryCompleteness {
+    /// `answered_epochs / expected_epochs` (1.0 when nothing was expected).
+    pub fn epoch_ratio(&self) -> f64 {
+        if self.expected_epochs == 0 {
+            1.0
+        } else {
+            self.answered_epochs as f64 / self.expected_epochs as f64
+        }
+    }
+
+    /// `delivered_rows / expected_rows` (1.0 when nothing was expected).
+    /// Can exceed 1.0 when a query's predicate admits rows the static
+    /// expectation did not count; callers typically clamp for display.
+    pub fn row_ratio(&self) -> f64 {
+        if self.expected_rows == 0 {
+            1.0
+        } else {
+            self.delivered_rows as f64 / self.expected_rows as f64
+        }
+    }
+
+    /// Expected epochs that produced no answer at all.
+    pub fn missing_epochs(&self) -> u64 {
+        self.expected_epochs.saturating_sub(self.answered_epochs)
+    }
+}
+
+/// Run-level completeness and repair accounting, produced by the experiment
+/// runner and carried in its `RunReport`. Plain data with `PartialEq`:
+/// two bit-identical runs yield `==` reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompletenessReport {
+    /// Per user query accounting.
+    pub per_query: BTreeMap<QueryId, QueryCompleteness>,
+    /// Tier-1 re-optimizations triggered by the base station's missing-result
+    /// detector.
+    pub repairs_triggered: u64,
+    /// For each triggered repair, the delay until the first subsequent
+    /// answer of the repaired query, ms (repair latency).
+    pub repair_latency_ms: Vec<u64>,
+}
+
+impl CompletenessReport {
+    /// The worst per-query epoch completeness (1.0 for an empty report).
+    pub fn min_epoch_ratio(&self) -> f64 {
+        self.per_query
+            .values()
+            .map(QueryCompleteness::epoch_ratio)
+            .fold(1.0, f64::min)
+    }
+
+    /// The worst per-query row completeness (1.0 for an empty report).
+    pub fn min_row_ratio(&self) -> f64 {
+        self.per_query
+            .values()
+            .map(QueryCompleteness::row_ratio)
+            .fold(1.0, f64::min)
+    }
+
+    /// Mean repair latency over triggered repairs, ms (`None` if none
+    /// completed).
+    pub fn mean_repair_latency_ms(&self) -> Option<f64> {
+        if self.repair_latency_ms.is_empty() {
+            return None;
+        }
+        Some(
+            self.repair_latency_ms.iter().sum::<u64>() as f64 / self.repair_latency_ms.len() as f64,
+        )
     }
 }
 
@@ -412,6 +541,49 @@ mod tests {
         // Snapshots of identical metric states compare equal.
         assert_eq!(s, m.snapshot());
         assert_ne!(s, Metrics::new(2).snapshot());
+    }
+
+    #[test]
+    fn orphan_counters_track_drops_and_distinct_nodes() {
+        let mut m = Metrics::new(4);
+        m.record_orphaned_drop(2);
+        m.record_orphaned_drop(2);
+        m.record_orphaned_drop(3);
+        assert_eq!(m.orphaned_drops(), 3);
+        assert_eq!(m.orphaned_node_count(), 2);
+        let s = m.snapshot();
+        assert_eq!(s.orphaned_drops, 3);
+        assert_eq!(s.orphaned_nodes, 2);
+    }
+
+    #[test]
+    fn completeness_ratios() {
+        let q = QueryCompleteness {
+            expected_epochs: 10,
+            answered_epochs: 9,
+            expected_rows: 40,
+            delivered_rows: 30,
+        };
+        assert!((q.epoch_ratio() - 0.9).abs() < 1e-12);
+        assert!((q.row_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(q.missing_epochs(), 1);
+        // Nothing expected => complete by definition.
+        let empty = QueryCompleteness::default();
+        assert_eq!(empty.epoch_ratio(), 1.0);
+        assert_eq!(empty.row_ratio(), 1.0);
+
+        let mut report = CompletenessReport::default();
+        assert_eq!(report.min_epoch_ratio(), 1.0);
+        assert_eq!(report.mean_repair_latency_ms(), None);
+        report.per_query.insert(QueryId(1), q);
+        report
+            .per_query
+            .insert(QueryId(2), QueryCompleteness::default());
+        assert!((report.min_epoch_ratio() - 0.9).abs() < 1e-12);
+        assert!((report.min_row_ratio() - 0.75).abs() < 1e-12);
+        report.repairs_triggered = 2;
+        report.repair_latency_ms = vec![1000, 3000];
+        assert_eq!(report.mean_repair_latency_ms(), Some(2000.0));
     }
 
     #[test]

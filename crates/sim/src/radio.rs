@@ -192,6 +192,40 @@ mod tests {
     }
 
     #[test]
+    fn loss_at_matches_quartic_falloff_formula() {
+        let r = RadioParams {
+            loss_rate: 0.2,
+            distance_loss: true,
+            ..RadioParams::default()
+        };
+        // loss_rate + (1 − loss_rate)·(d/range)⁴ at a few exact points.
+        assert_eq!(r.loss_at(0.0, 50.0), 0.2);
+        assert!((r.loss_at(25.0, 50.0) - (0.2 + 0.8 * 0.0625)).abs() < 1e-12);
+        assert!((r.loss_at(50.0, 50.0) - 1.0).abs() < 1e-12);
+        // Beyond range the ratio clamps to 1 → certain loss, never > 1.
+        assert_eq!(r.loss_at(80.0, 50.0), 1.0);
+        // A pure distance model (no base loss) keeps the quartic shape.
+        let pure = RadioParams {
+            loss_rate: 0.0,
+            distance_loss: true,
+            ..RadioParams::default()
+        };
+        assert_eq!(pure.loss_at(0.0, 50.0), 0.0);
+        assert!((pure.loss_at(40.0, 50.0) - 0.8f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_at_without_distance_model_is_flat() {
+        let r = RadioParams {
+            loss_rate: 0.3,
+            distance_loss: false,
+            ..RadioParams::default()
+        };
+        assert_eq!(r.loss_at(0.0, 50.0), 0.3);
+        assert_eq!(r.loss_at(49.0, 50.0), 0.3);
+    }
+
+    #[test]
     fn msg_kind_display_is_distinct() {
         let names: Vec<String> = MsgKind::ALL.iter().map(|k| k.to_string()).collect();
         let mut dedup = names.clone();

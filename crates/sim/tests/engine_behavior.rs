@@ -2,8 +2,8 @@
 //! retransmission, sleep and determinism.
 
 use ttmqo_sim::{
-    ConstantField, Ctx, Destination, MsgKind, NodeApp, NodeId, Position, RadioParams, SimConfig,
-    SimTime, Simulator, Topology,
+    ConstantField, Ctx, Destination, FaultPlan, LinkDegradation, MsgKind, NodeApp, NodeId,
+    Position, RadioParams, RegionLossOverride, SimConfig, SimTime, Simulator, Topology,
 };
 
 /// A scriptable test app: sends frames per a static script and records what
@@ -349,6 +349,78 @@ fn random_loss_drops_frames_and_retries() {
     assert_eq!(sim.metrics().losses(), 3, "original + 2 retries all lost");
 }
 
+/// Sends `frames` unicast frames from node 1 to node 0 (one pair, `d` feet
+/// apart) under the distance-loss model with retries disabled, and returns
+/// how many got through.
+fn distance_loss_deliveries(d: f64, frames: u64) -> u64 {
+    let mut radio = RadioParams::lossless();
+    radio.distance_loss = true;
+    radio.max_retries = 0;
+    let topo = Topology::from_positions(
+        vec![Position { x: 0.0, y: 0.0 }, Position { x: d, y: 0.0 }],
+        50.0,
+    )
+    .unwrap();
+    let mut sim = new_sim(topo, radio);
+    for i in 0..frames {
+        sim.schedule_command(
+            SimTime::from_ms(10 + i * 50),
+            NodeId(1),
+            Cmd::Send {
+                dest: Destination::Unicast(NodeId(0)),
+                kind: MsgKind::Result,
+                bytes: 4,
+                tag: format!("f{i}"),
+            },
+        );
+    }
+    sim.run_until(SimTime::from_ms(10 + frames * 50 + 1000));
+    sim.node(NodeId(0)).received.len() as u64
+}
+
+#[test]
+fn distance_loss_degrades_toward_the_range_edge() {
+    // Per-receiver loss (d/range)⁴: ~0.16% at 10 ft, ~92% at 49 ft. Over
+    // 100 frames the two regimes are far outside each other's noise.
+    let near = distance_loss_deliveries(10.0, 100);
+    let far = distance_loss_deliveries(49.0, 100);
+    assert!(near >= 95, "10 ft link lost too much: {near}/100");
+    assert!(far <= 30, "49 ft link delivered too much: {far}/100");
+}
+
+#[test]
+fn distance_loss_exhausts_unicast_retries_at_the_range_limit() {
+    // At exactly d = range the quartic model gives certain loss, so a
+    // unicast burns its whole retry budget: max_retries retransmissions,
+    // then one give-up, with every attempt counted as a loss.
+    let mut radio = RadioParams::lossless();
+    radio.distance_loss = true;
+    radio.max_retries = 3;
+    let topo = Topology::from_positions(
+        vec![Position { x: 0.0, y: 0.0 }, Position { x: 50.0, y: 0.0 }],
+        50.0,
+    )
+    .unwrap();
+    let mut sim = new_sim(topo, radio);
+    sim.schedule_command(
+        SimTime::from_ms(10),
+        NodeId(1),
+        Cmd::Send {
+            dest: Destination::Unicast(NodeId(0)),
+            kind: MsgKind::Result,
+            bytes: 4,
+            tag: "doomed".into(),
+        },
+    );
+    sim.run_until(SimTime::from_ms(10_000));
+    assert!(sim.node(NodeId(0)).received.is_empty());
+    assert_eq!(sim.metrics().retransmissions(), 3);
+    assert_eq!(sim.metrics().gave_up(), 1);
+    assert_eq!(sim.metrics().losses(), 4, "original + 3 retries all lost");
+    // Each retry is a fresh transmission in the per-kind counters.
+    assert_eq!(sim.metrics().tx_count(MsgKind::Result), 4);
+}
+
 #[test]
 fn sleeping_node_misses_frames_until_wake() {
     let mut radio = RadioParams::lossless();
@@ -669,6 +741,130 @@ fn csma_deferral_cap_falls_through_to_transmit_with_collision() {
         .received
         .iter()
         .all(|(_, _, t)| t != "long"));
+}
+
+#[test]
+fn fault_plan_crashes_and_recovers_on_schedule() {
+    let mut sim = new_sim(line_topology(2, 20.0), RadioParams::lossless());
+    sim.install_fault_plan(&FaultPlan::scripted(vec![(NodeId(1), 100, Some(500))]));
+    sim.run_until(SimTime::from_ms(200));
+    assert!(sim.is_failed(NodeId(1)));
+    sim.run_until(SimTime::from_ms(600));
+    assert!(!sim.is_failed(NodeId(1)));
+}
+
+#[test]
+fn fault_plan_degradation_window_gates_delivery() {
+    // A total-loss window from 1 s to 3 s: frames inside it vanish, frames
+    // on either side get through.
+    let mut radio = RadioParams::lossless();
+    radio.max_retries = 0;
+    let mut sim = new_sim(line_topology(2, 20.0), radio);
+    sim.install_fault_plan(&FaultPlan {
+        degradations: vec![LinkDegradation {
+            from_ms: 1_000,
+            until_ms: 3_000,
+            added_loss: 1.0,
+        }],
+        ..FaultPlan::default()
+    });
+    for at_ms in [500u64, 2_000, 4_000] {
+        sim.schedule_command(
+            SimTime::from_ms(at_ms),
+            NodeId(1),
+            Cmd::Send {
+                dest: Destination::Unicast(NodeId(0)),
+                kind: MsgKind::Result,
+                bytes: 4,
+                tag: format!("t{at_ms}"),
+            },
+        );
+    }
+    sim.run_until(SimTime::from_ms(6_000));
+    let tags: Vec<&str> = sim
+        .node(NodeId(0))
+        .received
+        .iter()
+        .map(|(_, _, t)| t.as_str())
+        .collect();
+    assert_eq!(tags, vec!["t500", "t4000"]);
+    assert_eq!(sim.metrics().losses(), 1);
+}
+
+#[test]
+fn fault_plan_region_override_is_local() {
+    // Nodes 0-1-2 in a line; a certain-loss region covers only node 2, so
+    // node 1's broadcast reaches 0 but not 2.
+    let mut radio = RadioParams::lossless();
+    radio.max_retries = 0;
+    let mut sim = new_sim(line_topology(3, 20.0), radio);
+    sim.install_fault_plan(&FaultPlan {
+        region_overrides: vec![RegionLossOverride {
+            x0: 35.0,
+            y0: -5.0,
+            x1: 45.0,
+            y1: 5.0,
+            from_ms: 0,
+            until_ms: u64::MAX,
+            loss_rate: 1.0,
+        }],
+        ..FaultPlan::default()
+    });
+    sim.schedule_command(
+        SimTime::from_ms(10),
+        NodeId(1),
+        Cmd::Send {
+            dest: Destination::Broadcast,
+            kind: MsgKind::Result,
+            bytes: 4,
+            tag: "b".into(),
+        },
+    );
+    sim.run_until(SimTime::from_ms(1_000));
+    assert_eq!(sim.node(NodeId(0)).received.len(), 1);
+    assert!(sim.node(NodeId(2)).received.is_empty());
+}
+
+#[test]
+fn empty_fault_plan_leaves_runs_bit_identical() {
+    // Installing an empty plan must not perturb the event queue or the RNG
+    // stream: the run's full metrics snapshot stays equal to a run that
+    // never heard of fault plans.
+    let run = |install_empty_plan: bool| {
+        let mut radio = RadioParams::lossless();
+        radio.loss_rate = 0.3; // active RNG-drawing loss path
+        radio.max_retries = 2;
+        let config = SimConfig {
+            seed: 99,
+            maintenance_interval_ms: Some(700),
+            maintenance_bytes: 8,
+        };
+        let mut sim = Simulator::new(
+            Topology::grid(4).unwrap(),
+            radio,
+            config,
+            Box::new(ConstantField),
+            |_, _| Probe::default(),
+        );
+        if install_empty_plan {
+            sim.install_fault_plan(&FaultPlan::default());
+        }
+        for i in 0..10u64 {
+            sim.schedule_command(
+                SimTime::from_ms(i * 131),
+                NodeId((1 + i % 15) as u16),
+                Cmd::Send {
+                    dest: Destination::Unicast(NodeId(0)),
+                    kind: MsgKind::Result,
+                    bytes: 12,
+                    tag: format!("m{i}"),
+                },
+            );
+        }
+        sim.run_until(SimTime::from_ms(20_000));
+        sim.metrics().snapshot()
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]
