@@ -198,10 +198,11 @@ impl EngineBenchResult {
     pub fn to_json(&self) -> String {
         let s = &self.stats;
         format!(
-            "{{\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
+            "{{\"schema_version\":{},\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
              \"events\":{},\"events_per_sec\":{:.1},\"tx_frames\":{},\"delivered\":{},\
              \"frames_total\":{},\"slab_len\":{},\"slab_high_water\":{},\
              \"frames_in_flight\":{},\"csma_capped_deferrals\":{}}}",
+            ttmqo_sim::SCHEMA_VERSION,
             self.name,
             self.grid_n,
             self.duration_ms,

@@ -206,11 +206,12 @@ impl FaultBenchResult {
             .mean_repair_latency_ms
             .map_or_else(|| "null".to_string(), |v| format!("{v:.1}"));
         format!(
-            "{{\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
+            "{{\"schema_version\":{},\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
              \"sim_ms_per_wall_s\":{:.1},\"tx_frames\":{},\"retransmissions\":{},\
              \"gave_up\":{},\"orphaned_drops\":{},\"orphaned_nodes\":{},\
              \"min_epoch_ratio\":{:.6},\"min_row_ratio\":{:.6},\
              \"repairs_triggered\":{},\"mean_repair_latency_ms\":{}}}",
+            ttmqo_sim::SCHEMA_VERSION,
             self.name,
             self.grid_n,
             self.duration_ms,

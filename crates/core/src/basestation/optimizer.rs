@@ -14,6 +14,7 @@ use crate::basestation::synthetic::{Demand, SyntheticQuery};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use ttmqo_query::{integrate, Query, QueryId};
+use ttmqo_sim::{TraceEvent, TraceHandle};
 
 /// First id handed to synthetic queries; user query ids must stay below it.
 pub const SYNTHETIC_ID_BASE: u64 = 1 << 20;
@@ -127,6 +128,11 @@ pub struct BaseStationOptimizer {
     injected: BTreeSet<QueryId>,
     next_syn: u64,
     stats: OptimizerStats,
+    /// Trace sink for Tier-1 decisions (disabled by default; zero cost).
+    trace: TraceHandle,
+    /// Simulation time stamped onto trace events, ms (the optimizer runs
+    /// outside the simulator, so the runner feeds it the clock).
+    trace_now_ms: u64,
 }
 
 impl BaseStationOptimizer {
@@ -154,7 +160,22 @@ impl BaseStationOptimizer {
             injected: BTreeSet::new(),
             next_syn: SYNTHETIC_ID_BASE,
             stats: OptimizerStats::default(),
+            trace: TraceHandle::disabled(),
+            trace_now_ms: 0,
         }
+    }
+
+    /// Attaches a trace sink: every `Beneficial` evaluation and every
+    /// covered/merge/install/reoptimize decision emits a structured event.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Sets the simulation time stamped onto subsequent trace events, ms.
+    /// The optimizer has no clock of its own; the experiment runner calls
+    /// this before `insert`/`terminate`/`reoptimize`.
+    pub fn set_trace_time(&mut self, now_ms: u64) {
+        self.trace_now_ms = now_ms;
     }
 
     /// The termination parameter α.
@@ -284,6 +305,15 @@ impl BaseStationOptimizer {
         };
         self.stats.reoptimizations += 1;
         let members: Vec<QueryId> = sq.members().collect();
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.trace_now_ms * 1000,
+                TraceEvent::Tier1Reoptimize {
+                    synthetic: syn_id,
+                    members: members.clone(),
+                },
+            );
+        }
         for m in members {
             self.user_to_syn.remove(&m);
             let mq = self.user_queries[&m].clone();
@@ -365,6 +395,16 @@ impl BaseStationOptimizer {
             let mut best: Option<(QueryId, f64)> = None;
             for (id, sq) in &self.synthetics {
                 let rate = self.score(&pq, sq.query());
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        self.trace_now_ms * 1000,
+                        TraceEvent::Tier1Eval {
+                            probe: pq.id(),
+                            candidate: *id,
+                            rate,
+                        },
+                    );
+                }
                 if best.is_none_or(|(_, b)| rate > b) {
                     best = Some((*id, rate));
                 }
@@ -380,6 +420,15 @@ impl BaseStationOptimizer {
             match best {
                 Some((id, rate)) if rate >= 1.0 => {
                     // Covered: the probe's members ride along for free.
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            self.trace_now_ms * 1000,
+                            TraceEvent::Tier1Covered {
+                                probe: pq.id(),
+                                covered_by: id,
+                            },
+                        );
+                    }
                     let members: Vec<QueryId> = probe.members().collect();
                     let sq = self.synthetics.get_mut(&id).expect("best exists");
                     for m in &members {
@@ -397,6 +446,16 @@ impl BaseStationOptimizer {
                     let old = self.synthetics.remove(&id).expect("best exists");
                     let merged_query = integrate(self.fresh_syn_id(), old.query(), &pq)
                         .expect("positive benefit rate implies integrable");
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            self.trace_now_ms * 1000,
+                            TraceEvent::Tier1Merge {
+                                probe: pq.id(),
+                                candidate: id,
+                                merged: merged_query.id(),
+                            },
+                        );
+                    }
                     let mut merged = SyntheticQuery::new(merged_query);
                     for m in old.members().chain(probe.members()) {
                         merged.add_member(m, &Demand::of(&self.user_queries[&m]));
@@ -407,6 +466,15 @@ impl BaseStationOptimizer {
                     // No beneficial rewrite: run the probe as-is.
                     let id = probe.id();
                     let members: Vec<QueryId> = probe.members().collect();
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            self.trace_now_ms * 1000,
+                            TraceEvent::Tier1Install {
+                                synthetic: id,
+                                members: members.clone(),
+                            },
+                        );
+                    }
                     for m in members {
                         self.user_to_syn.insert(m, id);
                     }

@@ -53,10 +53,14 @@
 
 use crate::basestation::OptimizerStats;
 use crate::runner::{run_experiment, ExperimentConfig, Strategy, WorkloadEvent};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use ttmqo_sim::{CompletenessReport, FaultPlan, MetricsSnapshot};
+use ttmqo_sim::{
+    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, TraceHandle,
+    SCHEMA_VERSION,
+};
 
 /// A named workload inside a campaign.
 #[derive(Debug, Clone)]
@@ -96,6 +100,12 @@ pub struct CampaignSpec {
     pub faults: Vec<CampaignFault>,
     /// Workload axis; at least one is required to have any cells.
     pub workloads: Vec<CampaignWorkload>,
+    /// Opt-in per-cell structured tracing: when set, every cell attaches a
+    /// [`JsonLinesSink`] writing to
+    /// `<dir>/trace-<index>-<workload>-<strategy>-<grid_n>-<fault>.jsonl` and
+    /// its record names the file in `trace_file`. `None` (the default) keeps
+    /// every cell untraced and bit-for-bit identical to earlier campaigns.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl CampaignSpec {
@@ -112,6 +122,7 @@ impl CampaignSpec {
                 plan: FaultPlan::default(),
             }],
             workloads: Vec::new(),
+            trace_dir: None,
             base,
         }
     }
@@ -143,6 +154,13 @@ impl CampaignSpec {
             name: name.into(),
             plan,
         });
+        self
+    }
+
+    /// Enables per-cell trace output under `dir` (created on demand). See
+    /// [`CampaignSpec::trace_dir`] for the file naming scheme.
+    pub fn trace_output(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -258,6 +276,11 @@ pub struct CellRecord {
     pub completeness: CompletenessReport,
     /// Simulator counters at the end of the run.
     pub metrics: MetricsSnapshot,
+    /// Engine hot-path counters with the per-phase event breakdown.
+    pub engine: EngineStats,
+    /// File name (relative to [`CampaignSpec::trace_dir`]) of this cell's
+    /// trace JSONL, when the campaign ran with tracing enabled.
+    pub trace_file: Option<String>,
 }
 
 impl CellRecord {
@@ -270,7 +293,7 @@ impl CellRecord {
     /// JSON-lines report):
     ///
     /// ```json
-    /// {"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
+    /// {"schema_version":1,"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
     ///  "fault":"none","wall_clock_ms":12.5,"workload_events":8,"queries_answered":4,
     ///  "answer_epochs":160,"avg_synthetic_count":1.9,"avg_benefit_ratio":0.31,
     ///  "optimizer":{"inserted":4,"terminated":4,"injections":2,"abortions":1,
@@ -282,13 +305,23 @@ impl CellRecord {
     ///             "tx_count":{"result":320},"tx_bytes":{"result":9600},
     ///             "retransmissions":0,"collisions":0,"losses":0,"gave_up":0,
     ///             "orphaned_drops":0,"orphaned_nodes":0,
-    ///             "samples":512,"horizon_ms":196608}}
+    ///             "samples":512,"horizon_ms":196608},
+    ///  "engine":{"events_processed":5000,"frames_total":320,
+    ///            "frame_slab_high_water":4,"csma_capped_deferrals":0,
+    ///            "timer_events":4000,"deliver_events":900,"command_events":8,
+    ///            "maintenance_events":92,"fault_events":0}}
     /// ```
     ///
-    /// `optimizer` is `null` for strategies without the base-station tier.
+    /// `schema_version` is [`ttmqo_sim::SCHEMA_VERSION`] (shared with the
+    /// trace JSONL format and the `BENCH_*.json` reports). `optimizer` is
+    /// `null` for strategies without the base-station tier. A trailing
+    /// `"trace_file":"trace-0-....jsonl"` field is present only when the
+    /// campaign ran with [`CampaignSpec::trace_output`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
+        json_num(&mut out, "schema_version", &SCHEMA_VERSION.to_string());
+        out.push(',');
         json_str(&mut out, "workload", &self.workload);
         out.push(',');
         json_str(&mut out, "strategy", &self.strategy.to_string());
@@ -415,7 +448,47 @@ impl CellRecord {
         json_num(&mut out, "samples", &m.samples.to_string());
         out.push(',');
         json_num(&mut out, "horizon_ms", &m.horizon_ms.to_string());
-        out.push_str("}}");
+        out.push_str("},\"engine\":{");
+        let e = &self.engine;
+        json_num(
+            &mut out,
+            "events_processed",
+            &e.events_processed.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "frames_total", &e.frames_total.to_string());
+        out.push(',');
+        json_num(
+            &mut out,
+            "frame_slab_high_water",
+            &e.frame_slab_high_water.to_string(),
+        );
+        out.push(',');
+        json_num(
+            &mut out,
+            "csma_capped_deferrals",
+            &e.csma_capped_deferrals.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "timer_events", &e.timer_events.to_string());
+        out.push(',');
+        json_num(&mut out, "deliver_events", &e.deliver_events.to_string());
+        out.push(',');
+        json_num(&mut out, "command_events", &e.command_events.to_string());
+        out.push(',');
+        json_num(
+            &mut out,
+            "maintenance_events",
+            &e.maintenance_events.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "fault_events", &e.fault_events.to_string());
+        out.push('}');
+        if let Some(name) = &self.trace_file {
+            out.push(',');
+            json_str(&mut out, "trace_file", name);
+        }
+        out.push('}');
         out
     }
 }
@@ -463,15 +536,44 @@ impl CampaignReport {
     }
 }
 
+/// Makes an axis name safe for a file name (slashes, spaces and other
+/// non-alphanumerics become `_`).
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Runs one cell and wraps its results into a record.
 fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
     let workload = &spec.workloads[cell.workload];
     let fault = &spec.faults[cell.fault];
     let mut config = cell.config(&spec.base);
     config.faults = fault.plan.clone();
+    let trace_file = spec.trace_dir.as_ref().and_then(|dir| {
+        let name = format!(
+            "trace-{}-{}-{}-{}-{}.jsonl",
+            cell.index,
+            slug(&workload.name),
+            cell.strategy,
+            cell.grid_n,
+            slug(&fault.name),
+        );
+        std::fs::create_dir_all(dir).ok()?;
+        let sink = JsonLinesSink::create(dir.join(&name)).ok()?;
+        config.trace = TraceHandle::new(sink);
+        Some(name)
+    });
     let start = Instant::now();
     let report = run_experiment(&config, &workload.events);
     let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
+    config.trace.flush();
     CellRecord {
         workload: workload.name.clone(),
         strategy: cell.strategy,
@@ -487,6 +589,8 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
         optimizer: report.optimizer_stats,
         completeness: report.completeness,
         metrics: report.metrics.snapshot(),
+        engine: report.engine,
+        trace_file,
     }
 }
 

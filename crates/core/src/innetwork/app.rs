@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use ttmqo_query::{
     AggValue, EpochAnswer, EpochDuration, PartialAgg, Query, QueryId, Readings, Row, Selection,
 };
-use ttmqo_sim::{Ctx, Destination, MsgKind, NodeApp, NodeId};
+use ttmqo_sim::{Ctx, Destination, MsgKind, NodeApp, NodeId, ProvenanceId, TraceEvent};
 use ttmqo_tinydb::{Command, Output, Srt};
 
 const K_CLOCK: u64 = 0;
@@ -262,6 +262,13 @@ impl TtmqoApp {
             self.maybe_sleep(ctx, t_ms);
             return;
         }
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::EpochFire {
+                node: ctx.node(),
+                epoch_ms: t_ms,
+                due: due.iter().map(|q| q.id()).collect(),
+            });
+        }
         let epoch_idx = t_ms / ttmqo_query::BASE_EPOCH_MS;
 
         if ctx.is_base_station() {
@@ -309,6 +316,16 @@ impl TtmqoApp {
             } else {
                 self.has_data.remove(&q.id());
             }
+        }
+
+        // Shared-acquisition hit: one sample batch served several queries.
+        if ctx.trace_enabled() && (!acq_matches.is_empty() || !agg_matches.is_empty()) {
+            ctx.trace(TraceEvent::SharedAcquisition {
+                node: ctx.node(),
+                epoch_ms: t_ms,
+                acq: acq_matches.iter().copied().collect(),
+                agg: agg_matches.iter().map(|q| q.id()).collect(),
+            });
         }
 
         // Wake-up announcement (§3.2.2): only after an *actual* sleep, and
@@ -443,6 +460,19 @@ impl TtmqoApp {
         } else {
             Destination::Multicast(parents.iter().map(|(n, _)| *n).collect())
         };
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::ResultHop {
+                from: ctx.node(),
+                to: parents.iter().map(|(n, _)| *n).collect(),
+                epoch_ms,
+                prov: entries
+                    .iter()
+                    .map(|e| ProvenanceId::new(NodeId(e.node), epoch_ms))
+                    .collect(),
+                qids: qids.iter().copied().collect(),
+                origin: entries.iter().all(|e| e.node == ctx.node().0),
+            });
+        }
         let payload = TtmqoPayload::SharedRows {
             epoch_ms,
             entries,
@@ -461,6 +491,12 @@ impl TtmqoApp {
             return;
         }
         self.last_no_route_ms = Some(epoch_ms);
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::NoRouteResignation {
+                node: ctx.node(),
+                epoch_ms,
+            });
+        }
         let payload = TtmqoPayload::NoRoute;
         let bytes = payload.wire_size();
         ctx.send(Destination::Broadcast, MsgKind::Maintenance, bytes, payload);
@@ -507,6 +543,18 @@ impl TtmqoApp {
         } else {
             Destination::Multicast(parents.iter().map(|(n, _)| *n).collect())
         };
+        if ctx.trace_enabled() {
+            // Aggregation partials carry no per-origin identity (TAG merges
+            // it away), so the provenance list is empty.
+            ctx.trace(TraceEvent::ResultHop {
+                from: ctx.node(),
+                to: parents.iter().map(|(n, _)| *n).collect(),
+                epoch_ms,
+                prov: Vec::new(),
+                qids: qids.iter().copied().collect(),
+                origin: false,
+            });
+        }
         let payload = TtmqoPayload::SharedPartials {
             epoch_ms,
             entries,
@@ -634,6 +682,13 @@ impl TtmqoApp {
         }
         if ctx.is_base_station() {
             for entry in kept {
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::ResultDelivered {
+                        prov: ProvenanceId::new(NodeId(entry.node), epoch_ms),
+                        qids: entry.qids.iter().copied().collect(),
+                        epoch_ms,
+                    });
+                }
                 for qid in &entry.qids {
                     let Some(q) = self.queries.get(qid) else {
                         continue;
@@ -904,7 +959,7 @@ impl NodeApp for TtmqoApp {
 
     fn on_send_failed(
         &mut self,
-        _ctx: &mut Ctx<'_, TtmqoPayload, Output>,
+        ctx: &mut Ctx<'_, TtmqoPayload, Output>,
         dest: NodeId,
         _kind: MsgKind,
     ) {
@@ -913,7 +968,12 @@ impl NodeApp for TtmqoApp {
         // failures (with nothing overheard in between) and the parent is
         // excluded from routing; the next epoch's rows re-elect among the
         // surviving upper neighbours.
-        self.dag.record_send_failure(dest);
+        if self.dag.record_send_failure(dest) && ctx.trace_enabled() {
+            ctx.trace(TraceEvent::ParentDead {
+                node: ctx.node(),
+                parent: dest,
+            });
+        }
     }
 }
 

@@ -20,8 +20,9 @@ use crate::innetwork::{TtmqoApp, TtmqoConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
-    CompletenessReport, CorrelatedField, FaultPlan, Metrics, NodeId, QueryCompleteness,
-    RadioParams, SensorField, SimConfig, SimTime, Simulator, Topology, UniformField,
+    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, Metrics, NodeId,
+    QueryCompleteness, RadioParams, SensorField, SimConfig, SimTime, Simulator, Topology,
+    TraceEvent, TraceHandle, UniformField,
 };
 use ttmqo_stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
 use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
@@ -153,6 +154,10 @@ pub struct ExperimentConfig {
     /// and, for rewriting strategies, the base station's missing-result
     /// repair monitor.
     pub faults: FaultPlan,
+    /// Trace sink for structured per-event observability. The default
+    /// disabled handle costs one branch per event site and keeps the run
+    /// bit-identical to a build without the trace subsystem.
+    pub trace: TraceHandle,
 }
 
 impl Default for ExperimentConfig {
@@ -171,6 +176,7 @@ impl Default for ExperimentConfig {
             optimizer: OptimizerOptions::default(),
             innetwork: TtmqoConfig::default(),
             faults: FaultPlan::default(),
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -194,6 +200,9 @@ pub struct RunReport {
     pub optimizer_stats: Option<OptimizerStats>,
     /// Answer-completeness and repair accounting (per user query).
     pub completeness: CompletenessReport,
+    /// Engine hot-path counters, including the per-phase event breakdown
+    /// (timer / deliver / command / maintenance / fault).
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -285,6 +294,7 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
             field,
             move |_, _| TtmqoApp::new(innetwork.clone()),
         );
+        sim.set_trace(config.trace.clone());
         sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     } else {
@@ -296,6 +306,7 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
             field,
             |_, _| TinyDbApp::new(TinyDbConfig::default()),
         );
+        sim.set_trace(config.trace.clone());
         sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     }
@@ -448,6 +459,7 @@ fn ingest_outputs(
     topo: &Topology,
     answers: &mut BTreeMap<QueryId, Vec<(u64, EpochAnswer)>>,
     mut monitor: Option<&mut RepairMonitor>,
+    trace: &TraceHandle,
 ) {
     for record in fresh {
         let Output::Answer {
@@ -504,6 +516,23 @@ fn ingest_outputs(
                 if let Some(mon) = monitor.as_deref_mut() {
                     mon.note_answer(*uid, *epoch_ms, nonempty, record.time.as_ms());
                 }
+                if trace.is_enabled() {
+                    let rows = match &mapped {
+                        EpochAnswer::Rows(rows) => rows.len() as u64,
+                        EpochAnswer::Aggregates(_) => 0,
+                    };
+                    trace.emit(
+                        record.time.as_ms() * 1000,
+                        TraceEvent::AnswerMapped {
+                            user: *uid,
+                            synthetic: *syn_id,
+                            epoch_ms: *epoch_ms,
+                            rows,
+                            nonempty,
+                            latency_ms: record.time.as_ms().saturating_sub(*epoch_ms),
+                        },
+                    );
+                }
                 answers.entry(*uid).or_default().push((*epoch_ms, mapped));
             }
         }
@@ -520,7 +549,11 @@ where
     A: ttmqo_sim::NodeApp<Command = Command, Output = Output>,
 {
     let rewriting = config.strategy.uses_basestation_tier();
-    let mut optimizer = rewriting.then(|| build_optimizer(config, topo));
+    let mut optimizer = rewriting.then(|| {
+        let mut opt = build_optimizer(config, topo);
+        opt.set_trace(config.trace.clone());
+        opt
+    });
 
     // Fault bookkeeping: the same deterministic schedule the engine executes,
     // used for completeness expectations, plus the repair monitor (armed only
@@ -593,6 +626,7 @@ where
                     topo,
                     &mut answers,
                     Some(mon),
+                    &config.trace,
                 );
                 let due = mon.due_repairs(b, &live_users);
                 let mut repaired = false;
@@ -610,6 +644,7 @@ where
                     weighted_syn += current_syn_count as f64 * dt;
                     weighted_ratio += current_ratio * dt;
                     last_t = b;
+                    opt.set_trace_time(b);
                     for op in opt.reoptimize(syn) {
                         let cmd = match op {
                             NetworkOp::Inject(q) => Command::Pose(q),
@@ -642,6 +677,7 @@ where
             topo,
             &mut answers,
             monitor.as_mut(),
+            &config.trace,
         );
         // Accumulate time-weighted stats over [last_t, t).
         let dt = (t.as_ms() - last_t) as f64;
@@ -659,6 +695,7 @@ where
                 if let Some(mon) = monitor.as_mut() {
                     mon.note_posed(&q, t.as_ms());
                 }
+                opt.set_trace_time(t.as_ms());
                 opt.insert(q)
                     .expect("workload ids are unique and unreserved")
             }
@@ -668,6 +705,7 @@ where
                 if let Some(mon) = monitor.as_mut() {
                     mon.note_terminated(qid);
                 }
+                opt.set_trace_time(t.as_ms());
                 opt.terminate(qid)
             }
             (None, WorkloadAction::Pose(q)) => {
@@ -780,6 +818,7 @@ where
         avg_benefit_ratio: weighted_ratio / total,
         optimizer_stats: optimizer.map(|o| o.stats()),
         completeness,
+        engine: sim.engine_stats(),
     }
 }
 

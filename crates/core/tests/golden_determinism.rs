@@ -11,8 +11,9 @@
 //! golden_determinism`.
 
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
-use ttmqo_sim::{MetricsSnapshot, SimTime};
+use ttmqo_sim::{MetricsSnapshot, RingSink, SimTime, TraceHandle, TraceSink};
 use ttmqo_workloads::workload_a;
 
 const GOLDEN_PATH: &str = concat!(
@@ -92,4 +93,39 @@ fn golden_cell_is_reproducible_within_a_process() {
     let a = golden_cell(Strategy::TwoTier);
     let b = golden_cell(Strategy::TwoTier);
     assert_eq!(a, b);
+}
+
+#[test]
+fn tracing_leaves_the_golden_cell_untouched() {
+    // Tracing is observability, not behaviour: the golden cell rendered with
+    // an explicitly disabled handle AND with a live in-memory sink must both
+    // match the untraced rendering byte for byte (tracing never draws from
+    // the simulation RNG), and the run's engine stats must agree too.
+    let run = |trace: TraceHandle| {
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(24 * 2048),
+            trace,
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&config, &workload_a());
+        (
+            render(Strategy::TwoTier, &report.metrics.snapshot()),
+            report.engine,
+        )
+    };
+
+    let untraced = run(TraceHandle::disabled());
+    let ring = Arc::new(Mutex::new(RingSink::new(0)));
+    let traced = run(TraceHandle::shared(
+        ring.clone() as Arc<Mutex<dyn TraceSink>>
+    ));
+
+    assert_eq!(untraced.0, traced.0, "metrics diverged under tracing");
+    assert_eq!(untraced.1, traced.1, "engine stats diverged under tracing");
+    assert!(
+        !ring.lock().unwrap().is_empty(),
+        "the traced run actually recorded events"
+    );
 }

@@ -47,6 +47,7 @@ use crate::metrics::Metrics;
 use crate::radio::{Destination, MsgKind, RadioParams};
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
+use crate::trace::{TraceDest, TraceEvent, TraceHandle};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt::Debug;
@@ -127,6 +128,7 @@ pub struct Ctx<'a, P, O> {
     /// Engine-owned scratch, drained and reused across callbacks.
     actions: &'a mut Vec<Action<P>>,
     rng_state: &'a mut u64,
+    trace: &'a TraceHandle,
 }
 
 /// One record emitted by a node via [`Ctx::emit`].
@@ -228,6 +230,18 @@ impl<'a, P, O> Ctx<'a, P, O> {
             node: self.node,
             output,
         });
+    }
+
+    /// Whether a trace sink is attached. Apps check this before building an
+    /// event, so disabled tracing costs one branch and zero allocations.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Records an application-level trace event at the current simulation
+    /// time (no-op when tracing is disabled).
+    pub fn trace(&self, event: TraceEvent) {
+        self.trace.emit(self.now_us, event);
     }
 
     /// A deterministic pseudo-random `u64` from the simulation's seed.
@@ -380,6 +394,16 @@ pub struct EngineStats {
     /// (`RadioParams::csma_max_deferrals`) and fell through to
     /// transmit-with-collision.
     pub csma_capped_deferrals: u64,
+    /// Timer events processed (per-phase breakdown of `events_processed`).
+    pub timer_events: u64,
+    /// Frame-delivery events processed (one per frame fan-out).
+    pub deliver_events: u64,
+    /// External command events processed.
+    pub command_events: u64,
+    /// Maintenance-beacon events processed.
+    pub maintenance_events: u64,
+    /// Fault events processed (crashes + recoveries).
+    pub fault_events: u64,
 }
 
 /// Factory building a node's application, used at start and on reboot.
@@ -424,6 +448,9 @@ pub struct Simulator<A: NodeApp> {
     /// `None` (the default) keeps the delivery path byte-identical to a
     /// fault-free engine: one branch, no extra RNG draws.
     faults: Option<FaultOverlay>,
+    /// Trace emission handle; the default (disabled) handle costs one branch
+    /// per emission site and never allocates or draws RNG.
+    trace: TraceHandle,
     now_us: u64,
     seq: u64,
     rng_state: u64,
@@ -432,6 +459,9 @@ pub struct Simulator<A: NodeApp> {
     frames_total: u64,
     slab_high_water: usize,
     csma_capped: u64,
+    /// Per-phase event counters (timers, deliveries, commands, maintenance,
+    /// faults) — the breakdown behind `events_processed`.
+    phase_events: [u64; 5],
 }
 
 impl<A: NodeApp> Simulator<A> {
@@ -464,6 +494,7 @@ impl<A: NodeApp> Simulator<A> {
             sleep_until_us: vec![0; n],
             incoming: vec![Vec::new(); n],
             faults: None,
+            trace: TraceHandle::disabled(),
             now_us: 0,
             seq: 0,
             rng_state,
@@ -472,6 +503,7 @@ impl<A: NodeApp> Simulator<A> {
             frames_total: 0,
             slab_high_water: 0,
             csma_capped: 0,
+            phase_events: [0; 5],
             topology,
             radio,
             config,
@@ -499,7 +531,22 @@ impl<A: NodeApp> Simulator<A> {
             frame_slab_high_water: self.slab_high_water,
             frames_in_flight: self.frames.len() - self.free_frames.len(),
             csma_capped_deferrals: self.csma_capped,
+            timer_events: self.phase_events[0],
+            deliver_events: self.phase_events[1],
+            command_events: self.phase_events[2],
+            maintenance_events: self.phase_events[3],
+            fault_events: self.phase_events[4],
         }
+    }
+
+    /// Attaches (or detaches, with [`TraceHandle::disabled`]) the trace
+    /// sink. The engine and app callbacks emit structured [`TraceEvent`]s
+    /// through it; with the default disabled handle every emission site is a
+    /// single branch and the run is bit-for-bit identical to an untraced one
+    /// (tracing never draws from the simulation RNG, so this holds for
+    /// enabled sinks too).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Records emitted by nodes so far.
@@ -649,19 +696,27 @@ impl<A: NodeApp> Simulator<A> {
             self.events_processed += 1;
             match ev.kind {
                 EventKind::Timer { node, key } => {
+                    self.phase_events[0] += 1;
                     if !self.failed[node.index()] {
                         self.dispatch_callback(node, Callback::Timer(key));
                     }
                 }
                 EventKind::Command { node, cmd } => {
+                    self.phase_events[2] += 1;
                     if !self.failed[node.index()] {
                         self.dispatch_callback(node, Callback::Command(cmd));
                     }
                 }
                 EventKind::Deliver { frame } => {
+                    self.phase_events[1] += 1;
                     self.handle_delivery(frame);
                 }
                 EventKind::Fail { node } => {
+                    self.phase_events[4] += 1;
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .emit(self.now_us, TraceEvent::FaultCrash { node });
+                    }
                     self.failed[node.index()] = true;
                     // A crash ends any ongoing nap; retract the unspent part
                     // that was credited in full when the nap was planned, as
@@ -675,7 +730,12 @@ impl<A: NodeApp> Simulator<A> {
                     self.sleep_until_us[node.index()] = 0;
                 }
                 EventKind::Recover { node } => {
+                    self.phase_events[4] += 1;
                     if self.failed[node.index()] {
+                        if self.trace.is_enabled() {
+                            self.trace
+                                .emit(self.now_us, TraceEvent::FaultRecover { node });
+                        }
                         self.failed[node.index()] = false;
                         self.tx_ready_at_us[node.index()] = self.now_us;
                         self.nodes[node.index()] = (self.factory)(node, &self.topology);
@@ -683,6 +743,7 @@ impl<A: NodeApp> Simulator<A> {
                     }
                 }
                 EventKind::Maintenance { node } => {
+                    self.phase_events[3] += 1;
                     if self.failed[node.index()] {
                         // A dead node beacons nothing; re-arm for later.
                         let interval = self
@@ -736,6 +797,7 @@ impl<A: NodeApp> Simulator<A> {
                 outputs: &mut self.outputs,
                 actions: &mut actions,
                 rng_state: &mut self.rng_state,
+                trace: &self.trace,
             };
             match cb {
                 Callback::Start => app.on_start(&mut ctx),
@@ -781,6 +843,10 @@ impl<A: NodeApp> Simulator<A> {
                     );
                 }
                 Action::Sleep { duration_ms } => {
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .emit(self.now_us, TraceEvent::SleepStart { node, duration_ms });
+                    }
                     // Re-planning an ongoing nap: retract the unspent part.
                     let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
                     self.metrics
@@ -788,6 +854,9 @@ impl<A: NodeApp> Simulator<A> {
                     self.sleep_until_us[node.index()] = self.now_us + duration_ms * 1000;
                 }
                 Action::Wake => {
+                    if self.trace.is_enabled() {
+                        self.trace.emit(self.now_us, TraceEvent::Wake { node });
+                    }
                     let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
                     self.metrics
                         .record_sleep(node.index(), -(pending as f64) / 1000.0);
@@ -850,12 +919,39 @@ impl<A: NodeApp> Simulator<A> {
             if deferrals >= cap && deferrals > 0 {
                 self.csma_capped += 1;
             }
+            if deferrals > 0 && self.trace.is_enabled() {
+                self.trace.emit(
+                    self.now_us,
+                    TraceEvent::CsmaDeferred {
+                        node: src,
+                        deferrals,
+                        capped: deferrals >= cap,
+                    },
+                );
+            }
             self.csma_scratch = audible;
         }
         let end_us = start_us + dur_us;
         self.tx_ready_at_us[src.index()] = end_us;
         self.metrics
             .record_tx(src.index(), kind, total_bytes, dur_us as f64 / 1000.0);
+        if self.trace.is_enabled() {
+            let tdest = match &dest {
+                Destination::Broadcast => TraceDest::Broadcast,
+                Destination::Unicast(d) => TraceDest::Unicast(*d),
+                Destination::Multicast(ds) => TraceDest::Multicast(ds.len() as u16),
+            };
+            self.trace.emit(
+                start_us,
+                TraceEvent::FrameTx {
+                    src,
+                    kind,
+                    dest: tdest,
+                    bytes: total_bytes,
+                    airtime_us: dur_us,
+                },
+            );
+        }
 
         let frame_idx = self.alloc_frame(FrameState {
             src,
@@ -931,6 +1027,17 @@ impl<A: NodeApp> Simulator<A> {
 
             if self.is_asleep(receiver) || self.failed[receiver.index()] {
                 // The radio is off (or the node is dead): the frame is missed.
+                if intended && self.trace.is_enabled() {
+                    self.trace.emit(
+                        self.now_us,
+                        TraceEvent::FrameMissed {
+                            src,
+                            node: receiver,
+                            kind,
+                            asleep: self.is_asleep(receiver),
+                        },
+                    );
+                }
                 if intended && is_unicast {
                     let payload = self.frames[frame_idx].payload.clone();
                     self.retry_or_give_up(
@@ -962,9 +1069,29 @@ impl<A: NodeApp> Simulator<A> {
                 !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
             if corrupted {
                 self.metrics.record_collision();
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        self.now_us,
+                        TraceEvent::FrameCollision {
+                            src,
+                            node: receiver,
+                            kind,
+                        },
+                    );
+                }
             }
             if lost {
                 self.metrics.record_loss();
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        self.now_us,
+                        TraceEvent::FrameLost {
+                            src,
+                            node: receiver,
+                            kind,
+                        },
+                    );
+                }
             }
             if corrupted || lost {
                 if intended && is_unicast {
@@ -985,6 +1112,17 @@ impl<A: NodeApp> Simulator<A> {
                 // Engine-generated beacon: accounted, not delivered to the app.
                 continue;
             };
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    self.now_us,
+                    TraceEvent::FrameDelivered {
+                        src,
+                        node: receiver,
+                        kind,
+                        intended,
+                    },
+                );
+            }
             self.dispatch_callback(
                 receiver,
                 Callback::Message {
@@ -1012,6 +1150,16 @@ impl<A: NodeApp> Simulator<A> {
     ) {
         if retries_left == 0 {
             self.metrics.record_gave_up();
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    self.now_us,
+                    TraceEvent::FrameGaveUp {
+                        src,
+                        node: receiver,
+                        kind,
+                    },
+                );
+            }
             if !self.failed[src.index()] {
                 self.dispatch_callback(
                     src,
@@ -1024,6 +1172,17 @@ impl<A: NodeApp> Simulator<A> {
             return;
         }
         self.metrics.record_retransmission();
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.now_us,
+                TraceEvent::FrameRetry {
+                    src,
+                    node: receiver,
+                    kind,
+                    retries_left: retries_left - 1,
+                },
+            );
+        }
         // Random backoff with a window that doubles per attempt, so two
         // colliding senders eventually desynchronize by more than one frame
         // time (binary exponential backoff).

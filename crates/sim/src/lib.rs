@@ -76,6 +76,7 @@ mod metrics;
 mod radio;
 mod time;
 mod topology;
+mod trace;
 
 pub use energy::EnergyProfile;
 pub use engine::{Ctx, EngineStats, NodeApp, OutputRecord, SimConfig, Simulator};
@@ -87,3 +88,8 @@ pub use metrics::{CompletenessReport, Metrics, MetricsSnapshot, QueryCompletenes
 pub use radio::{Destination, MsgKind, RadioParams};
 pub use time::SimTime;
 pub use topology::{NodeId, Position, Topology, TopologyError, GRID_SPACING_FT, RADIO_RANGE_FT};
+pub use trace::{
+    chrome_trace, epoch_rollups, summarize_trace, trace_header, EpochRollup, JsonLinesSink,
+    ProvenanceId, RingSink, TraceDest, TraceEvent, TraceHandle, TraceRecord, TraceSink,
+    TraceSummary, SCHEMA_VERSION,
+};

@@ -543,6 +543,80 @@ mod tests {
         assert_ne!(s, Metrics::new(2).snapshot());
     }
 
+    /// Compile-enforced completeness: every counter `Metrics` holds must
+    /// surface in `MetricsSnapshot`. Both structs are destructured without
+    /// `..`, so adding a field to either one without teaching `snapshot()`
+    /// (and this test) about it fails to compile — the orphan counters were
+    /// once added to `Metrics` ahead of the snapshot struct, and this is the
+    /// guard against that recurring.
+    #[test]
+    fn snapshot_carries_every_metrics_field() {
+        let mut m = Metrics::new(3);
+        m.record_tx(0, MsgKind::Result, 30, 100.0);
+        m.record_rx(1, 40.0);
+        m.record_sleep(2, 700.0);
+        m.record_retransmission();
+        m.record_collision();
+        m.record_loss();
+        m.record_gave_up();
+        m.record_orphaned_drop(1);
+        m.record_sample();
+        m.set_horizon(SimTime::from_ms(1000));
+
+        // Exhaustive: a new private field in Metrics breaks this pattern.
+        let Metrics {
+            tx_busy_ms,
+            rx_busy_ms,
+            sleep_ms,
+            tx_count,
+            tx_bytes,
+            retransmissions,
+            collisions,
+            losses,
+            gave_up,
+            orphaned_drops,
+            orphaned,
+            samples,
+            horizon,
+        } = m.clone();
+
+        // Exhaustive: a new public field in MetricsSnapshot breaks this one.
+        let MetricsSnapshot {
+            avg_transmission_time_pct,
+            total_tx_busy_ms,
+            total_rx_busy_ms,
+            total_sleep_ms,
+            tx_count: snap_tx_count,
+            tx_bytes: snap_tx_bytes,
+            retransmissions: snap_retransmissions,
+            collisions: snap_collisions,
+            losses: snap_losses,
+            gave_up: snap_gave_up,
+            orphaned_drops: snap_orphaned_drops,
+            orphaned_nodes,
+            samples: snap_samples,
+            horizon_ms,
+        } = m.snapshot();
+
+        assert_eq!(avg_transmission_time_pct, m.avg_transmission_time_pct());
+        assert_eq!(total_tx_busy_ms, tx_busy_ms.iter().sum::<f64>());
+        assert_eq!(total_rx_busy_ms, rx_busy_ms.iter().sum::<f64>());
+        assert_eq!(total_sleep_ms, sleep_ms.iter().sum::<f64>());
+        assert_eq!(snap_tx_count, tx_count);
+        assert_eq!(snap_tx_bytes, tx_bytes);
+        assert_eq!(snap_retransmissions, retransmissions);
+        assert_eq!(snap_collisions, collisions);
+        assert_eq!(snap_losses, losses);
+        assert_eq!(snap_gave_up, gave_up);
+        assert_eq!(snap_orphaned_drops, orphaned_drops);
+        assert_eq!(
+            orphaned_nodes,
+            orphaned.iter().filter(|&&o| o).count() as u64
+        );
+        assert_eq!(snap_samples, samples);
+        assert_eq!(horizon_ms, horizon.as_ms());
+    }
+
     #[test]
     fn orphan_counters_track_drops_and_distinct_nodes() {
         let mut m = Metrics::new(4);

@@ -1,0 +1,1290 @@
+//! Structured event tracing: the observability layer under every experiment.
+//!
+//! A [`TraceSink`] receives one [`TraceRecord`] per significant simulation
+//! event — frame transmit/deliver/collision/loss/retry, CSMA deferrals,
+//! epoch firings and shared-acquisition hits, routing events (parent death,
+//! no-route resignation), sleep transitions, fault injections, Tier-1
+//! `Beneficial` evaluations and merge/reoptimize decisions, and base-station
+//! answer mapping. The engine and the applications emit through a
+//! [`TraceHandle`]; the default handle is disabled and costs one branch per
+//! event site — no allocation, no extra RNG draws, so a run with tracing
+//! disabled is bit-for-bit identical to a build without the subsystem (the
+//! golden determinism snapshot proves it).
+//!
+//! # Provenance
+//!
+//! Result rows already carry their origin node and epoch on the wire
+//! (`RowEntry.node` + the frame's `epoch_ms`), so a [`ProvenanceId`] —
+//! origin node and epoch packed into one `u64` — identifies a sample without
+//! any wire-format change. Every hop a row takes emits a
+//! [`TraceEvent::ResultHop`] listing the provenance ids it carries; the base
+//! station's ingestion emits [`TraceEvent::ResultDelivered`] and the
+//! experiment runner's answer mapping emits [`TraceEvent::AnswerMapped`].
+//! An analyzer can therefore reconstruct the full path of any sample —
+//! acquisition → hops → base station → per-user-query answer — and derive
+//! per-query answer latency and hop-count distributions
+//! ([`summarize_trace`]).
+//!
+//! # Formats
+//!
+//! [`JsonLinesSink`] writes one JSON object per record after a header line
+//! carrying [`SCHEMA_VERSION`]; [`RingSink`] keeps a bounded in-memory ring
+//! for tests. [`summarize_trace`] and [`chrome_trace`] consume the
+//! JSON-lines text (the workspace's vendored `serde` is an API stub, so both
+//! the writer and the reader are hand-rolled, like the campaign reports).
+
+use crate::radio::MsgKind;
+use crate::topology::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use ttmqo_query::QueryId;
+
+/// Version of every machine-readable report this workspace emits: the trace
+/// JSON-lines header and all `BENCH_*.json` records carry it as
+/// `schema_version`. This constant is the single source of truth — bump it
+/// here (and document the change in DESIGN.md §13) whenever any report's
+/// field set changes shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identity of one sensed sample: origin node and epoch start packed into a
+/// `u64` (`node << 48 | epoch_ms`). Rows already carry both on the wire, so
+/// provenance needs no wire-format change; epochs fit 48 bits for any run
+/// under ~8900 simulated years.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProvenanceId(pub u64);
+
+impl ProvenanceId {
+    /// Packs an origin node and epoch start (ms) into a provenance id.
+    pub fn new(origin: NodeId, epoch_ms: u64) -> Self {
+        debug_assert!(epoch_ms < (1u64 << 48), "epoch overflows provenance id");
+        ProvenanceId(((origin.0 as u64) << 48) | (epoch_ms & ((1u64 << 48) - 1)))
+    }
+
+    /// The node that sensed the sample.
+    pub fn origin(&self) -> NodeId {
+        NodeId((self.0 >> 48) as u16)
+    }
+
+    /// Start of the epoch the sample belongs to, ms.
+    pub fn epoch_ms(&self) -> u64 {
+        self.0 & ((1u64 << 48) - 1)
+    }
+}
+
+/// Where a transmission was addressed (a compact mirror of
+/// [`Destination`](crate::Destination) for trace records: multicast member
+/// lists are reduced to a count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDest {
+    /// All in-range nodes process the frame.
+    Broadcast,
+    /// One addressed receiver (acknowledged, retried).
+    Unicast(NodeId),
+    /// A set of addressed receivers, reduced to its size.
+    Multicast(u16),
+}
+
+/// One structured trace event. The taxonomy spans all three layers: the
+/// engine (frames, sleep, faults), the in-network tier (epochs, acquisition,
+/// routing) and the base-station tier (rewriting, answer mapping).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A frame was put on the air.
+    FrameTx {
+        /// Transmitting node.
+        src: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+        /// Addressing.
+        dest: TraceDest,
+        /// Payload + header bytes.
+        bytes: usize,
+        /// Airtime of the transmission, µs.
+        airtime_us: u64,
+    },
+    /// A transmission's carrier-sense loop deferred at least once.
+    CsmaDeferred {
+        /// Deferring sender.
+        node: NodeId,
+        /// Number of deferrals taken.
+        deferrals: u32,
+        /// Whether the deferral budget was exhausted (transmit-with-collision
+        /// fall-through).
+        capped: bool,
+    },
+    /// A frame reached a node intact and was handed to its app.
+    FrameDelivered {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiving node.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+        /// Whether the receiver was addressed (else an overhear).
+        intended: bool,
+    },
+    /// A frame was corrupted by a collision at a receiver.
+    FrameCollision {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiver at which the frames collided.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A frame was dropped by the loss model at a receiver.
+    FrameLost {
+        /// Transmitting node.
+        src: NodeId,
+        /// Receiver that missed the frame.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// An addressed unicast frame was missed because the receiver's radio
+    /// was off.
+    FrameMissed {
+        /// Transmitting node.
+        src: NodeId,
+        /// Addressed receiver.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+        /// True if the receiver slept; false if it was failed.
+        asleep: bool,
+    },
+    /// A missed unicast frame was re-queued for retransmission.
+    FrameRetry {
+        /// Transmitting node.
+        src: NodeId,
+        /// Addressed receiver.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+        /// Retries remaining after this one.
+        retries_left: u32,
+    },
+    /// A unicast frame was abandoned after exhausting its retry budget.
+    FrameGaveUp {
+        /// Transmitting node.
+        src: NodeId,
+        /// Addressed receiver that never acknowledged.
+        node: NodeId,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A node turned its radio off.
+    SleepStart {
+        /// Sleeping node.
+        node: NodeId,
+        /// Planned nap length, ms.
+        duration_ms: u64,
+    },
+    /// A node woke (or cancelled a pending nap).
+    Wake {
+        /// Waking node.
+        node: NodeId,
+    },
+    /// A fault-injection crash fired.
+    FaultCrash {
+        /// Crashed node.
+        node: NodeId,
+    },
+    /// A crashed node rebooted with fresh state.
+    FaultRecover {
+        /// Recovered node.
+        node: NodeId,
+    },
+    /// The shared clock fired with at least one due query (§3.2.1).
+    EpochFire {
+        /// Firing node.
+        node: NodeId,
+        /// Epoch start, ms.
+        epoch_ms: u64,
+        /// Queries due at this firing.
+        due: Vec<QueryId>,
+    },
+    /// Shared data acquisition: one sample batch served several queries.
+    SharedAcquisition {
+        /// Sampling node.
+        node: NodeId,
+        /// Epoch start, ms.
+        epoch_ms: u64,
+        /// Acquisition queries matched by the readings.
+        acq: Vec<QueryId>,
+        /// Aggregation queries matched by the readings.
+        agg: Vec<QueryId>,
+    },
+    /// A result frame hop: origin transmission or relay toward the base
+    /// station.
+    ResultHop {
+        /// Sending node (origin or relay).
+        from: NodeId,
+        /// Elected parents the frame is addressed to.
+        to: Vec<NodeId>,
+        /// Epoch the carried results belong to, ms.
+        epoch_ms: u64,
+        /// Provenance of every carried row (empty for aggregation partials,
+        /// whose per-origin identity is merged away by TAG).
+        prov: Vec<ProvenanceId>,
+        /// Queries the frame serves.
+        qids: Vec<QueryId>,
+        /// Whether the sender sensed the data itself (origin hop).
+        origin: bool,
+    },
+    /// A result row reached the base station's buffers.
+    ResultDelivered {
+        /// Provenance of the delivered row.
+        prov: ProvenanceId,
+        /// User-visible queries the row was accepted for.
+        qids: Vec<QueryId>,
+        /// Epoch the row belongs to, ms.
+        epoch_ms: u64,
+    },
+    /// A node with data but no live route resigned for this epoch
+    /// (broadcast `NoRoute`).
+    NoRouteResignation {
+        /// Orphaned node.
+        node: NodeId,
+        /// Epoch it could not serve, ms.
+        epoch_ms: u64,
+    },
+    /// The parent failure detector crossed its threshold: `parent` is now
+    /// excluded from routing and the next send re-elects around it.
+    ParentDead {
+        /// Detecting node.
+        node: NodeId,
+        /// Presumed-dead parent.
+        parent: NodeId,
+    },
+    /// Tier 1 evaluated `Beneficial(probe, candidate)` while inserting.
+    Tier1Eval {
+        /// The query being inserted (user query or merged synthetic).
+        probe: QueryId,
+        /// The running synthetic query scored against.
+        candidate: QueryId,
+        /// The benefit rate (≥ 1.0 means covered).
+        rate: f64,
+    },
+    /// Tier 1 merged the probe into a running synthetic query and re-inserts
+    /// the merger (Algorithm 1's recursive step).
+    Tier1Merge {
+        /// The probe that merged.
+        probe: QueryId,
+        /// The synthetic query it merged with.
+        candidate: QueryId,
+        /// Fresh id of the merged synthetic query.
+        merged: QueryId,
+    },
+    /// Tier 1 found the probe covered by a running synthetic query.
+    Tier1Covered {
+        /// The covered probe.
+        probe: QueryId,
+        /// The synthetic query that already provides its data.
+        covered_by: QueryId,
+    },
+    /// Tier 1 installed a synthetic query (no beneficial rewrite found).
+    Tier1Install {
+        /// The installed synthetic query.
+        synthetic: QueryId,
+        /// Its member user queries.
+        members: Vec<QueryId>,
+    },
+    /// Tier 1 rebuilt a synthetic query after persistent missing results.
+    Tier1Reoptimize {
+        /// The rebuilt synthetic query's (old) id.
+        synthetic: QueryId,
+        /// The member user queries re-inserted under fresh ids.
+        members: Vec<QueryId>,
+    },
+    /// The base station mapped a synthetic answer back to a user query.
+    AnswerMapped {
+        /// The user query served.
+        user: QueryId,
+        /// The synthetic query that produced the answer (== `user` for
+        /// strategies without tier 1).
+        synthetic: QueryId,
+        /// The answered epoch's start, ms.
+        epoch_ms: u64,
+        /// Result rows in the mapped answer (0 for aggregates).
+        rows: u64,
+        /// Whether the mapped answer carried any data.
+        nonempty: bool,
+        /// Emission delay past the epoch start, ms.
+        latency_ms: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag, as used in the JSON `ev` field.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::FrameTx { .. } => "frame-tx",
+            TraceEvent::CsmaDeferred { .. } => "csma-deferred",
+            TraceEvent::FrameDelivered { .. } => "frame-delivered",
+            TraceEvent::FrameCollision { .. } => "frame-collision",
+            TraceEvent::FrameLost { .. } => "frame-lost",
+            TraceEvent::FrameMissed { .. } => "frame-missed",
+            TraceEvent::FrameRetry { .. } => "frame-retry",
+            TraceEvent::FrameGaveUp { .. } => "frame-gave-up",
+            TraceEvent::SleepStart { .. } => "sleep-start",
+            TraceEvent::Wake { .. } => "wake",
+            TraceEvent::FaultCrash { .. } => "fault-crash",
+            TraceEvent::FaultRecover { .. } => "fault-recover",
+            TraceEvent::EpochFire { .. } => "epoch-fire",
+            TraceEvent::SharedAcquisition { .. } => "shared-acquisition",
+            TraceEvent::ResultHop { .. } => "result-hop",
+            TraceEvent::ResultDelivered { .. } => "result-delivered",
+            TraceEvent::NoRouteResignation { .. } => "no-route",
+            TraceEvent::ParentDead { .. } => "parent-dead",
+            TraceEvent::Tier1Eval { .. } => "tier1-eval",
+            TraceEvent::Tier1Merge { .. } => "tier1-merge",
+            TraceEvent::Tier1Covered { .. } => "tier1-covered",
+            TraceEvent::Tier1Install { .. } => "tier1-install",
+            TraceEvent::Tier1Reoptimize { .. } => "tier1-reoptimize",
+            TraceEvent::AnswerMapped { .. } => "answer-mapped",
+        }
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time of the event, µs.
+    pub time_us: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON object (one line of the trace file).
+    /// Field order is fixed, floats use shortest-roundtrip formatting, so a
+    /// deterministic run renders a byte-identical trace.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t\":");
+        s.push_str(&self.time_us.to_string());
+        s.push_str(",\"ev\":\"");
+        s.push_str(self.event.kind_tag());
+        s.push('"');
+        let w = &mut s;
+        match &self.event {
+            TraceEvent::FrameTx {
+                src,
+                kind,
+                dest,
+                bytes,
+                airtime_us,
+            } => {
+                num(w, "src", src.0 as u64);
+                str_field(w, "kind", &kind.to_string());
+                match dest {
+                    TraceDest::Broadcast => str_field(w, "dest", "broadcast"),
+                    TraceDest::Unicast(n) => num(w, "dest", n.0 as u64),
+                    TraceDest::Multicast(k) => {
+                        str_field(w, "dest", "multicast");
+                        num(w, "fanout", *k as u64);
+                    }
+                }
+                num(w, "bytes", *bytes as u64);
+                num(w, "airtime_us", *airtime_us);
+            }
+            TraceEvent::CsmaDeferred {
+                node,
+                deferrals,
+                capped,
+            } => {
+                num(w, "node", node.0 as u64);
+                num(w, "deferrals", *deferrals as u64);
+                bool_field(w, "capped", *capped);
+            }
+            TraceEvent::FrameDelivered {
+                src,
+                node,
+                kind,
+                intended,
+            } => {
+                num(w, "src", src.0 as u64);
+                num(w, "node", node.0 as u64);
+                str_field(w, "kind", &kind.to_string());
+                bool_field(w, "intended", *intended);
+            }
+            TraceEvent::FrameCollision { src, node, kind }
+            | TraceEvent::FrameLost { src, node, kind }
+            | TraceEvent::FrameGaveUp { src, node, kind } => {
+                num(w, "src", src.0 as u64);
+                num(w, "node", node.0 as u64);
+                str_field(w, "kind", &kind.to_string());
+            }
+            TraceEvent::FrameMissed {
+                src,
+                node,
+                kind,
+                asleep,
+            } => {
+                num(w, "src", src.0 as u64);
+                num(w, "node", node.0 as u64);
+                str_field(w, "kind", &kind.to_string());
+                bool_field(w, "asleep", *asleep);
+            }
+            TraceEvent::FrameRetry {
+                src,
+                node,
+                kind,
+                retries_left,
+            } => {
+                num(w, "src", src.0 as u64);
+                num(w, "node", node.0 as u64);
+                str_field(w, "kind", &kind.to_string());
+                num(w, "retries_left", *retries_left as u64);
+            }
+            TraceEvent::SleepStart { node, duration_ms } => {
+                num(w, "node", node.0 as u64);
+                num(w, "duration_ms", *duration_ms);
+            }
+            TraceEvent::Wake { node }
+            | TraceEvent::FaultCrash { node }
+            | TraceEvent::FaultRecover { node } => {
+                num(w, "node", node.0 as u64);
+            }
+            TraceEvent::EpochFire {
+                node,
+                epoch_ms,
+                due,
+            } => {
+                num(w, "node", node.0 as u64);
+                num(w, "epoch_ms", *epoch_ms);
+                qid_array(w, "due", due);
+            }
+            TraceEvent::SharedAcquisition {
+                node,
+                epoch_ms,
+                acq,
+                agg,
+            } => {
+                num(w, "node", node.0 as u64);
+                num(w, "epoch_ms", *epoch_ms);
+                qid_array(w, "acq", acq);
+                qid_array(w, "agg", agg);
+            }
+            TraceEvent::ResultHop {
+                from,
+                to,
+                epoch_ms,
+                prov,
+                qids,
+                origin,
+            } => {
+                num(w, "from", from.0 as u64);
+                u64_array(w, "to", to.iter().map(|n| n.0 as u64));
+                num(w, "epoch_ms", *epoch_ms);
+                u64_array(w, "prov", prov.iter().map(|p| p.0));
+                qid_array(w, "qids", qids);
+                bool_field(w, "origin", *origin);
+            }
+            TraceEvent::ResultDelivered {
+                prov,
+                qids,
+                epoch_ms,
+            } => {
+                num(w, "prov", prov.0);
+                qid_array(w, "qids", qids);
+                num(w, "epoch_ms", *epoch_ms);
+            }
+            TraceEvent::NoRouteResignation { node, epoch_ms } => {
+                num(w, "node", node.0 as u64);
+                num(w, "epoch_ms", *epoch_ms);
+            }
+            TraceEvent::ParentDead { node, parent } => {
+                num(w, "node", node.0 as u64);
+                num(w, "parent", parent.0 as u64);
+            }
+            TraceEvent::Tier1Eval {
+                probe,
+                candidate,
+                rate,
+            } => {
+                num(w, "probe", probe.0);
+                num(w, "candidate", candidate.0);
+                w.push_str(",\"rate\":");
+                if rate.is_finite() {
+                    w.push_str(&format!("{rate}"));
+                } else {
+                    // Coverage scores can be +inf in raw-benefit mode.
+                    w.push_str("\"inf\"");
+                }
+            }
+            TraceEvent::Tier1Merge {
+                probe,
+                candidate,
+                merged,
+            } => {
+                num(w, "probe", probe.0);
+                num(w, "candidate", candidate.0);
+                num(w, "merged", merged.0);
+            }
+            TraceEvent::Tier1Covered { probe, covered_by } => {
+                num(w, "probe", probe.0);
+                num(w, "covered_by", covered_by.0);
+            }
+            TraceEvent::Tier1Install { synthetic, members }
+            | TraceEvent::Tier1Reoptimize { synthetic, members } => {
+                num(w, "synthetic", synthetic.0);
+                qid_array(w, "members", members);
+            }
+            TraceEvent::AnswerMapped {
+                user,
+                synthetic,
+                epoch_ms,
+                rows,
+                nonempty,
+                latency_ms,
+            } => {
+                num(w, "user", user.0);
+                num(w, "synthetic", synthetic.0);
+                num(w, "epoch_ms", *epoch_ms);
+                num(w, "rows", *rows);
+                bool_field(w, "nonempty", *nonempty);
+                num(w, "latency_ms", *latency_ms);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn num(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(value); // kind tags and dest names: no escaping needed
+    out.push('"');
+}
+
+fn bool_field(out: &mut String, key: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn u64_array(out: &mut String, key: &str, values: impl Iterator<Item = u64>) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn qid_array(out: &mut String, key: &str, qids: &[QueryId]) {
+    u64_array(out, key, qids.iter().map(|q| q.0));
+}
+
+/// Receiver of trace records. Implementations must tolerate high event
+/// rates; the engine calls [`TraceSink::record`] under the handle's lock.
+pub trait TraceSink: Send {
+    /// Receives one record.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Cloneable handle the engine and apps emit trace events through.
+///
+/// The default handle is disabled: every emission site reduces to a single
+/// `Option::is_some` branch, keeping the hot path allocation-free and the
+/// simulated behaviour bit-identical (tracing never draws from the
+/// simulation's RNG — enabled or not).
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Mutex<dyn TraceSink>>>);
+
+impl TraceHandle {
+    /// The no-op handle (same as `TraceHandle::default()`).
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A handle that records into `sink`.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        TraceHandle(Some(Arc::new(Mutex::new(sink))))
+    }
+
+    /// A handle over an existing shared sink — lets a test keep a typed
+    /// `Arc<Mutex<RingSink>>` clone to read the records back.
+    pub fn shared(sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        TraceHandle(Some(sink))
+    }
+
+    /// Whether a sink is attached. Emission sites check this before building
+    /// an event, so the disabled path never allocates.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records `event` at simulation time `time_us` (no-op when disabled).
+    pub fn emit(&self, time_us: u64, event: TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.lock()
+                .expect("trace sink poisoned")
+                .record(&TraceRecord { time_us, event });
+        }
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.lock().expect("trace sink poisoned").flush();
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TraceHandle")
+            .field(&if self.0.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+/// Header line every trace file starts with.
+pub fn trace_header() -> String {
+    format!("{{\"schema_version\":{SCHEMA_VERSION},\"format\":\"ttmqo-trace\"}}")
+}
+
+/// Sink writing the trace as JSON lines: the [`trace_header`] first, then
+/// one [`TraceRecord::to_json`] object per line.
+pub struct JsonLinesSink {
+    out: Box<dyn Write + Send>,
+}
+
+impl JsonLinesSink {
+    /// Wraps any writer (the header is written immediately).
+    pub fn new(mut out: impl Write + Send + 'static) -> std::io::Result<Self> {
+        writeln!(out, "{}", trace_header())?;
+        Ok(JsonLinesSink { out: Box::new(out) })
+    }
+
+    /// Creates (truncating) a trace file at `path`, buffered.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Self::new(std::io::BufWriter::new(file))
+    }
+}
+
+impl fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        // Ignore write errors at record granularity (a full disk mid-run
+        // should not abort the simulation); flush reports them implicitly.
+        let _ = writeln!(self.out, "{}", rec.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Bounded in-memory sink for tests: keeps the most recent `capacity`
+/// records, counting what it dropped.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` records (0 keeps everything —
+    /// convenient for short test runs).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.capacity > 0 && self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec.clone());
+    }
+}
+
+/// Per-epoch time-series rollup: the run's activity bucketed by epoch
+/// instead of collapsed into run totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochRollup {
+    /// Start of the bucket, ms (a multiple of the rollup's epoch length).
+    pub epoch_ms: u64,
+    /// Frames transmitted.
+    pub tx: u64,
+    /// Collision corruptions observed at receivers.
+    pub collisions: u64,
+    /// Loss-model drops observed at receivers.
+    pub losses: u64,
+    /// Unicast retransmissions queued.
+    pub retries: u64,
+    /// Naps started.
+    pub sleeps: u64,
+    /// Result rows delivered to the base station.
+    pub rows_delivered: u64,
+    /// Answers mapped to user queries.
+    pub answers: u64,
+    /// Mapped answers that carried data (the per-epoch completeness
+    /// numerator; expected-epoch counts live in `CompletenessReport`).
+    pub nonempty_answers: u64,
+}
+
+/// Buckets trace records into per-epoch rollups of length `epoch_len_ms`.
+/// Events that carry an explicit `epoch_ms` (rows, answers) are bucketed by
+/// it; everything else by its timestamp.
+pub fn epoch_rollups(records: &[TraceRecord], epoch_len_ms: u64) -> Vec<EpochRollup> {
+    let len = epoch_len_ms.max(1);
+    let mut buckets: BTreeMap<u64, EpochRollup> = BTreeMap::new();
+    for rec in records {
+        let by_time = (rec.time_us / 1000) / len * len;
+        let (bucket, apply): (u64, fn(&mut EpochRollup)) = match &rec.event {
+            TraceEvent::FrameTx { .. } => (by_time, |r| r.tx += 1),
+            TraceEvent::FrameCollision { .. } => (by_time, |r| r.collisions += 1),
+            TraceEvent::FrameLost { .. } => (by_time, |r| r.losses += 1),
+            TraceEvent::FrameRetry { .. } => (by_time, |r| r.retries += 1),
+            TraceEvent::SleepStart { .. } => (by_time, |r| r.sleeps += 1),
+            TraceEvent::ResultDelivered { epoch_ms, .. } => {
+                (epoch_ms / len * len, |r| r.rows_delivered += 1)
+            }
+            TraceEvent::AnswerMapped {
+                epoch_ms, nonempty, ..
+            } => {
+                let b = epoch_ms / len * len;
+                let r = buckets.entry(b).or_insert(EpochRollup {
+                    epoch_ms: b,
+                    ..EpochRollup::default()
+                });
+                r.answers += 1;
+                if *nonempty {
+                    r.nonempty_answers += 1;
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        let r = buckets.entry(bucket).or_insert(EpochRollup {
+            epoch_ms: bucket,
+            ..EpochRollup::default()
+        });
+        apply(r);
+    }
+    buckets.into_values().collect()
+}
+
+/// Summary of a JSON-lines trace, computed from the text alone (no access
+/// to the run that produced it) — the `trace-analyze` example's core.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// `schema_version` from the header line, if present.
+    pub schema_version: Option<u32>,
+    /// Total records (header excluded).
+    pub events: u64,
+    /// Record count per event kind tag.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Per user query: answers mapped (== `RunReport.answers[q].len()`).
+    pub answers_per_query: BTreeMap<u64, u64>,
+    /// Per user query: mapped answers that carried data.
+    pub nonempty_per_query: BTreeMap<u64, u64>,
+    /// Per user query: answer latency samples, ms (epoch start → emission).
+    pub latency_ms_per_query: BTreeMap<u64, Vec<u64>>,
+    /// Hop-count distribution over delivered provenances: hops → samples.
+    /// Hops = result-hop events naming the provenance (origin send
+    /// included), for provenances that reached the base station.
+    pub hop_distribution: BTreeMap<u64, u64>,
+    /// Per-epoch rollups at `BASE_EPOCH_MS` granularity.
+    pub rollups: Vec<EpochRollup>,
+}
+
+impl TraceSummary {
+    /// Total answers mapped across all user queries.
+    pub fn total_answers(&self) -> u64 {
+        self.answers_per_query.values().sum()
+    }
+
+    /// Mean answer latency over every mapped answer, ms.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let (sum, n) = self
+            .latency_ms_per_query
+            .values()
+            .flatten()
+            .fold((0u64, 0u64), |(s, n), &l| (s + l, n + 1));
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}
+
+/// Summarizes a JSON-lines trace (header line + records). Rollups are
+/// bucketed by `epoch_len_ms`.
+pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    // Hops per provenance id, and which provenances were delivered.
+    let mut hops: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut delivered: Vec<u64> = Vec::new();
+    let mut records: Vec<TraceRecord> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some(ev) = json_str_field(line, "ev") else {
+            // The header (or an unknown line): pick up the schema version.
+            if let Some(v) = json_u64_field(line, "schema_version") {
+                summary.schema_version = Some(v as u32);
+            }
+            continue;
+        };
+        summary.events += 1;
+        *summary.by_kind.entry(ev.clone()).or_insert(0) += 1;
+        let t = json_u64_field(line, "t").unwrap_or(0);
+        match ev.as_str() {
+            "answer-mapped" => {
+                let user = json_u64_field(line, "user").unwrap_or(0);
+                let nonempty = json_bool_field(line, "nonempty").unwrap_or(false);
+                let latency = json_u64_field(line, "latency_ms").unwrap_or(0);
+                let epoch_ms = json_u64_field(line, "epoch_ms").unwrap_or(0);
+                *summary.answers_per_query.entry(user).or_insert(0) += 1;
+                if nonempty {
+                    *summary.nonempty_per_query.entry(user).or_insert(0) += 1;
+                }
+                summary
+                    .latency_ms_per_query
+                    .entry(user)
+                    .or_default()
+                    .push(latency);
+                records.push(TraceRecord {
+                    time_us: t,
+                    event: TraceEvent::AnswerMapped {
+                        user: QueryId(user),
+                        synthetic: QueryId(json_u64_field(line, "synthetic").unwrap_or(0)),
+                        epoch_ms,
+                        rows: json_u64_field(line, "rows").unwrap_or(0),
+                        nonempty,
+                        latency_ms: latency,
+                    },
+                });
+            }
+            "result-hop" => {
+                for p in json_u64_array_field(line, "prov") {
+                    *hops.entry(p).or_insert(0) += 1;
+                }
+            }
+            "result-delivered" => {
+                let p = json_u64_field(line, "prov").unwrap_or(0);
+                delivered.push(p);
+                records.push(TraceRecord {
+                    time_us: t,
+                    event: TraceEvent::ResultDelivered {
+                        prov: ProvenanceId(p),
+                        qids: Vec::new(),
+                        epoch_ms: json_u64_field(line, "epoch_ms").unwrap_or(0),
+                    },
+                });
+            }
+            // Rollup-relevant engine events: reconstruct just enough.
+            "frame-tx" => records.push(TraceRecord {
+                time_us: t,
+                event: TraceEvent::FrameTx {
+                    src: NodeId(0),
+                    kind: MsgKind::Result,
+                    dest: TraceDest::Broadcast,
+                    bytes: 0,
+                    airtime_us: 0,
+                },
+            }),
+            "frame-collision" => records.push(TraceRecord {
+                time_us: t,
+                event: TraceEvent::FrameCollision {
+                    src: NodeId(0),
+                    node: NodeId(0),
+                    kind: MsgKind::Result,
+                },
+            }),
+            "frame-lost" => records.push(TraceRecord {
+                time_us: t,
+                event: TraceEvent::FrameLost {
+                    src: NodeId(0),
+                    node: NodeId(0),
+                    kind: MsgKind::Result,
+                },
+            }),
+            "frame-retry" => records.push(TraceRecord {
+                time_us: t,
+                event: TraceEvent::FrameRetry {
+                    src: NodeId(0),
+                    node: NodeId(0),
+                    kind: MsgKind::Result,
+                    retries_left: 0,
+                },
+            }),
+            "sleep-start" => records.push(TraceRecord {
+                time_us: t,
+                event: TraceEvent::SleepStart {
+                    node: NodeId(0),
+                    duration_ms: 0,
+                },
+            }),
+            _ => {}
+        }
+    }
+    delivered.sort_unstable();
+    delivered.dedup();
+    for p in delivered {
+        let h = hops.get(&p).copied().unwrap_or(0);
+        *summary.hop_distribution.entry(h).or_insert(0) += 1;
+    }
+    summary.rollups = epoch_rollups(&records, epoch_len_ms);
+    summary
+}
+
+/// Converts a JSON-lines trace into Chrome trace-event JSON
+/// (`chrome://tracing` / Perfetto's JSON importer): frame transmissions
+/// become complete (`X`) slices on their source node's track, everything
+/// else instant (`i`) events on the node named by the record.
+pub fn chrome_trace(text: &str) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for line in text.lines() {
+        let Some(ev) = json_str_field(line, "ev") else {
+            continue;
+        };
+        let t = json_u64_field(line, "t").unwrap_or(0);
+        let tid = json_u64_field(line, "node")
+            .or_else(|| json_u64_field(line, "src"))
+            .or_else(|| json_u64_field(line, "from"))
+            .unwrap_or(0);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if ev == "frame-tx" {
+            let dur = json_u64_field(line, "airtime_us").unwrap_or(1);
+            out.push_str(&format!(
+                "{{\"name\":\"{ev}\",\"ph\":\"X\",\"ts\":{t},\"dur\":{dur},\
+                 \"pid\":0,\"tid\":{tid}}}"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{ev}\",\"ph\":\"i\",\"ts\":{t},\"s\":\"t\",\
+                 \"pid\":0,\"tid\":{tid}}}"
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Extracts a string field from one JSON line (fields this module writes
+/// never contain escapes).
+pub(crate) fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts an unsigned integer field from one JSON line.
+pub(crate) fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a boolean field from one JSON line.
+pub(crate) fn json_bool_field(line: &str, key: &str) -> Option<bool> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts a `u64` array field from one JSON line.
+pub(crate) fn json_u64_array_field(line: &str, key: &str) -> Vec<u64> {
+    let tag = format!("\"{key}\":[");
+    let Some(start) = line.find(&tag).map(|i| i + tag.len()) else {
+        return Vec::new();
+    };
+    let Some(end) = line[start..].find(']').map(|i| i + start) else {
+        return Vec::new();
+    };
+    line[start..end]
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_round_trips() {
+        let p = ProvenanceId::new(NodeId(513), 123 * 2048);
+        assert_eq!(p.origin(), NodeId(513));
+        assert_eq!(p.epoch_ms(), 123 * 2048);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::default();
+        assert!(!h.is_enabled());
+        h.emit(5, TraceEvent::Wake { node: NodeId(1) });
+        h.flush(); // no sink: nothing to do, nothing to panic on
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts_drops() {
+        let ring = Arc::new(Mutex::new(RingSink::new(2)));
+        let h = TraceHandle::shared(ring.clone());
+        assert!(h.is_enabled());
+        for i in 0..5 {
+            h.emit(i, TraceEvent::Wake { node: NodeId(0) });
+        }
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let times: Vec<u64> = ring.records().map(|r| r.time_us).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_header_and_records() {
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let h = TraceHandle::new(JsonLinesSink::new(buf.clone()).unwrap());
+        h.emit(
+            1000,
+            TraceEvent::FrameTx {
+                src: NodeId(3),
+                kind: MsgKind::Result,
+                dest: TraceDest::Unicast(NodeId(1)),
+                bytes: 32,
+                airtime_us: 10400,
+            },
+        );
+        h.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], trace_header());
+        assert!(lines[0].contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
+        assert_eq!(
+            lines[1],
+            "{\"t\":1000,\"ev\":\"frame-tx\",\"src\":3,\"kind\":\"result\",\
+             \"dest\":1,\"bytes\":32,\"airtime_us\":10400}"
+        );
+    }
+
+    #[test]
+    fn record_json_is_deterministic_and_parsable() {
+        let rec = TraceRecord {
+            time_us: 2_048_000,
+            event: TraceEvent::ResultHop {
+                from: NodeId(9),
+                to: vec![NodeId(5), NodeId(6)],
+                epoch_ms: 2048,
+                prov: vec![ProvenanceId::new(NodeId(9), 2048)],
+                qids: vec![QueryId(1), QueryId(2)],
+                origin: true,
+            },
+        };
+        let json = rec.to_json();
+        assert_eq!(json, rec.to_json());
+        assert_eq!(json_str_field(&json, "ev").as_deref(), Some("result-hop"));
+        assert_eq!(json_u64_field(&json, "from"), Some(9));
+        assert_eq!(json_u64_array_field(&json, "to"), vec![5, 6]);
+        assert_eq!(
+            json_u64_array_field(&json, "prov"),
+            vec![ProvenanceId::new(NodeId(9), 2048).0]
+        );
+        assert_eq!(json_bool_field(&json, "origin"), Some(true));
+    }
+
+    #[test]
+    fn rollups_bucket_by_epoch() {
+        let recs = vec![
+            TraceRecord {
+                time_us: 100_000, // 100 ms → epoch 0
+                event: TraceEvent::FrameTx {
+                    src: NodeId(1),
+                    kind: MsgKind::Result,
+                    dest: TraceDest::Broadcast,
+                    bytes: 10,
+                    airtime_us: 100,
+                },
+            },
+            TraceRecord {
+                time_us: 2_500_000, // 2500 ms → epoch 2048
+                event: TraceEvent::FrameCollision {
+                    src: NodeId(1),
+                    node: NodeId(2),
+                    kind: MsgKind::Result,
+                },
+            },
+            TraceRecord {
+                time_us: 4_500_000, // bucketed by its epoch field, not time
+                event: TraceEvent::AnswerMapped {
+                    user: QueryId(1),
+                    synthetic: QueryId(1),
+                    epoch_ms: 2048,
+                    rows: 3,
+                    nonempty: true,
+                    latency_ms: 200,
+                },
+            },
+        ];
+        let rollups = epoch_rollups(&recs, 2048);
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].epoch_ms, 0);
+        assert_eq!(rollups[0].tx, 1);
+        assert_eq!(rollups[1].epoch_ms, 2048);
+        assert_eq!(rollups[1].collisions, 1);
+        assert_eq!(rollups[1].answers, 1);
+        assert_eq!(rollups[1].nonempty_answers, 1);
+    }
+
+    #[test]
+    fn summarize_reads_back_what_the_sink_wrote() {
+        let mut text = trace_header();
+        text.push('\n');
+        let p = ProvenanceId::new(NodeId(7), 2048);
+        let recs = vec![
+            TraceRecord {
+                time_us: 2_100_000,
+                event: TraceEvent::ResultHop {
+                    from: NodeId(7),
+                    to: vec![NodeId(3)],
+                    epoch_ms: 2048,
+                    prov: vec![p],
+                    qids: vec![QueryId(1)],
+                    origin: true,
+                },
+            },
+            TraceRecord {
+                time_us: 2_200_000,
+                event: TraceEvent::ResultHop {
+                    from: NodeId(3),
+                    to: vec![NodeId(0)],
+                    epoch_ms: 2048,
+                    prov: vec![p],
+                    qids: vec![QueryId(1)],
+                    origin: false,
+                },
+            },
+            TraceRecord {
+                time_us: 2_300_000,
+                event: TraceEvent::ResultDelivered {
+                    prov: p,
+                    qids: vec![QueryId(1)],
+                    epoch_ms: 2048,
+                },
+            },
+            TraceRecord {
+                time_us: 2_400_000,
+                event: TraceEvent::AnswerMapped {
+                    user: QueryId(1),
+                    synthetic: QueryId(1 << 20),
+                    epoch_ms: 2048,
+                    rows: 1,
+                    nonempty: true,
+                    latency_ms: 352,
+                },
+            },
+        ];
+        for r in &recs {
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        let s = summarize_trace(&text, 2048);
+        assert_eq!(s.schema_version, Some(SCHEMA_VERSION));
+        assert_eq!(s.events, 4);
+        assert_eq!(s.by_kind["result-hop"], 2);
+        assert_eq!(s.answers_per_query[&1], 1);
+        assert_eq!(s.nonempty_per_query[&1], 1);
+        assert_eq!(s.latency_ms_per_query[&1], vec![352]);
+        // The sample took 2 hops (origin + one relay) and was delivered.
+        assert_eq!(s.hop_distribution[&2], 1);
+        assert_eq!(s.total_answers(), 1);
+        assert_eq!(s.mean_latency_ms(), Some(352.0));
+        assert_eq!(s.rollups.len(), 1);
+        assert_eq!(s.rollups[0].rows_delivered, 1);
+
+        let chrome = chrome_trace(&text);
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.ends_with("]}"));
+        assert!(chrome.contains("\"name\":\"result-hop\""));
+        assert_eq!(chrome.matches("\"ph\":\"i\"").count(), 4);
+    }
+}
