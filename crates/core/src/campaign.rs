@@ -106,6 +106,14 @@ pub struct CampaignSpec {
     /// its record names the file in `trace_file`. `None` (the default) keeps
     /// every cell untraced and bit-for-bit identical to earlier campaigns.
     pub trace_dir: Option<PathBuf>,
+    /// Opt-in per-cell windowed timeseries output: when set, every cell runs
+    /// with timeseries collection enabled (the base config's
+    /// `ExperimentConfig::timeseries` when it is `Some`, the default
+    /// [`ttmqo_sim::TimeseriesConfig`] otherwise) and writes
+    /// `<dir>/timeseries-<index>-<workload>-<strategy>-<grid_n>-<fault>.json`,
+    /// named in the record's `timeseries_file`. `None` (the default) leaves
+    /// the base config's setting untouched.
+    pub timeseries_dir: Option<PathBuf>,
 }
 
 impl CampaignSpec {
@@ -123,6 +131,7 @@ impl CampaignSpec {
             }],
             workloads: Vec::new(),
             trace_dir: None,
+            timeseries_dir: None,
             base,
         }
     }
@@ -161,6 +170,13 @@ impl CampaignSpec {
     /// [`CampaignSpec::trace_dir`] for the file naming scheme.
     pub fn trace_output(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables per-cell windowed timeseries output under `dir` (created on
+    /// demand). See [`CampaignSpec::timeseries_dir`] for the naming scheme.
+    pub fn timeseries_output(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.timeseries_dir = Some(dir.into());
         self
     }
 
@@ -281,6 +297,14 @@ pub struct CellRecord {
     /// File name (relative to [`CampaignSpec::trace_dir`]) of this cell's
     /// trace JSONL, when the campaign ran with tracing enabled.
     pub trace_file: Option<String>,
+    /// Whole-run radio+sensing energy, mJ (under the timeseries config's
+    /// energy profile when one is set, the default profile otherwise).
+    pub energy_mj: f64,
+    /// The hottest single node's energy, mJ, under the same profile.
+    pub max_node_energy_mj: f64,
+    /// File name (relative to [`CampaignSpec::timeseries_dir`]) of this
+    /// cell's timeseries JSON, when the campaign ran with timeseries output.
+    pub timeseries_file: Option<String>,
 }
 
 impl CellRecord {
@@ -293,9 +317,10 @@ impl CellRecord {
     /// JSON-lines report):
     ///
     /// ```json
-    /// {"schema_version":1,"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
+    /// {"schema_version":2,"workload":"A","strategy":"two-tier","grid_n":4,"field_seed":987,
     ///  "fault":"none","wall_clock_ms":12.5,"workload_events":8,"queries_answered":4,
     ///  "answer_epochs":160,"avg_synthetic_count":1.9,"avg_benefit_ratio":0.31,
+    ///  "energy_mj":14000.2,"max_node_energy_mj":950.8,
     ///  "optimizer":{"inserted":4,"terminated":4,"injections":2,"abortions":1,
     ///               "absorbed_insertions":2,"absorbed_terminations":3},
     ///  "completeness":{"min_epoch_ratio":1,"min_row_ratio":0.95,
@@ -316,7 +341,9 @@ impl CellRecord {
     /// trace JSONL format and the `BENCH_*.json` reports). `optimizer` is
     /// `null` for strategies without the base-station tier. A trailing
     /// `"trace_file":"trace-0-....jsonl"` field is present only when the
-    /// campaign ran with [`CampaignSpec::trace_output`].
+    /// campaign ran with [`CampaignSpec::trace_output`], and a trailing
+    /// `"timeseries_file":"timeseries-0-....json"` only with
+    /// [`CampaignSpec::timeseries_output`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -358,6 +385,14 @@ impl CellRecord {
             &mut out,
             "avg_benefit_ratio",
             &json_f64(self.avg_benefit_ratio),
+        );
+        out.push(',');
+        json_num(&mut out, "energy_mj", &json_f64(self.energy_mj));
+        out.push(',');
+        json_num(
+            &mut out,
+            "max_node_energy_mj",
+            &json_f64(self.max_node_energy_mj),
         );
         out.push_str(",\"optimizer\":");
         match &self.optimizer {
@@ -488,6 +523,10 @@ impl CellRecord {
             out.push(',');
             json_str(&mut out, "trace_file", name);
         }
+        if let Some(name) = &self.timeseries_file {
+            out.push(',');
+            json_str(&mut out, "timeseries_file", name);
+        }
         out.push('}');
         out
     }
@@ -556,6 +595,9 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
     let fault = &spec.faults[cell.fault];
     let mut config = cell.config(&spec.base);
     config.faults = fault.plan.clone();
+    if spec.timeseries_dir.is_some() && config.timeseries.is_none() {
+        config.timeseries = Some(Default::default());
+    }
     let trace_file = spec.trace_dir.as_ref().and_then(|dir| {
         let name = format!(
             "trace-{}-{}-{}-{}-{}.jsonl",
@@ -574,6 +616,23 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
     let report = run_experiment(&config, &workload.events);
     let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
     config.trace.flush();
+    let timeseries_file = spec
+        .timeseries_dir
+        .as_ref()
+        .zip(report.timeseries.as_ref())
+        .and_then(|(dir, ts)| {
+            let name = format!(
+                "timeseries-{}-{}-{}-{}-{}.json",
+                cell.index,
+                slug(&workload.name),
+                cell.strategy,
+                cell.grid_n,
+                slug(&fault.name),
+            );
+            std::fs::create_dir_all(dir).ok()?;
+            std::fs::write(dir.join(&name), ts.to_json()).ok()?;
+            Some(name)
+        });
     CellRecord {
         workload: workload.name.clone(),
         strategy: cell.strategy,
@@ -591,6 +650,9 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
         metrics: report.metrics.snapshot(),
         engine: report.engine,
         trace_file,
+        energy_mj: report.energy_mj,
+        max_node_energy_mj: report.max_node_energy_mj,
+        timeseries_file,
     }
 }
 
@@ -783,6 +845,8 @@ mod tests {
             assert!(line.contains("\"workload\":\"tiny\""));
             assert!(line.contains("\"metrics\":{"));
             assert!(line.contains("\"avg_transmission_time_pct\":"));
+            assert!(line.contains("\"energy_mj\":"));
+            assert!(line.contains("\"max_node_energy_mj\":"));
             assert!(line.contains("\"tx_count\":{"));
             // Balanced braces and quotes — cheap well-formedness checks that
             // don't need a JSON parser.
@@ -834,6 +898,31 @@ mod tests {
         assert!(jsonl.contains("\"fault\":\"crash-one\""));
         assert!(jsonl.contains("\"completeness\":{\"min_epoch_ratio\":"));
         assert!(jsonl.contains("\"orphaned_nodes\":"));
+    }
+
+    #[test]
+    fn timeseries_output_writes_one_file_per_cell() {
+        let dir = std::env::temp_dir().join(format!("ttmqo-ts-campaign-{}", std::process::id()));
+        let spec = tiny_spec().timeseries_output(&dir);
+        let report = run_campaign_sequential(&spec);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let name = cell
+                .timeseries_file
+                .as_ref()
+                .expect("timeseries file written");
+            let text = std::fs::read_to_string(dir.join(name)).expect("file readable");
+            assert!(text.starts_with("{\"schema_version\":"));
+            assert!(text.contains("\"windows\":["));
+            assert!(text.contains("\"queries\":{"));
+            assert!(cell.energy_mj > 0.0);
+            assert!(cell.max_node_energy_mj > 0.0);
+            assert!(cell.energy_mj >= cell.max_node_energy_mj);
+        }
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"timeseries_file\":\"timeseries-0-tiny-baseline-3-none.json\""));
+        assert!(jsonl.contains("\"timeseries_file\":\"timeseries-1-tiny-two-tier-3-none.json\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,845 @@
+//! Run comparison: field-by-field diffs of reports with threshold verdicts.
+//!
+//! Three inputs share one machinery: single JSON reports (the benches'
+//! `BENCH_*.json`), campaign JSON-lines files (one record per cell), and
+//! in-memory [`RunReport`] pairs. Every JSON document is flattened to dotted
+//! leaf keys (`metrics.tx_count.result`, `windows[3].gini_tx_busy`) and the
+//! two sides are joined key-by-key:
+//!
+//! * **timing fields** (`wall_s`, `wall_clock_ms`, `events_per_sec`,
+//!   `sim_ms_per_wall_s`) get a direction-aware relative threshold — the
+//!   simulator is deterministic but the wall clock is not;
+//! * **everything else is exact** — counters, metrics, and schema fields of
+//!   a deterministic simulation must not drift at all;
+//! * a field present in the baseline but absent in the current run is a
+//!   failure (reports must not silently lose fields).
+//!
+//! The `report_diff` example wraps this module as the CI regression gate
+//! against the checked-in baselines under `bench/baselines/`.
+
+use crate::runner::RunReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value (hand-rolled; the vendored serde is an API stub).
+///
+/// Object fields keep their source order so diff output is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source field order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) => write!(f, "{n}"),
+            JsonValue::Str(s) => write!(f, "{s:?}"),
+            JsonValue::Arr(items) => write!(f, "<array of {}>", items.len()),
+            JsonValue::Obj(fields) => write!(f, "<object of {}>", fields.len()),
+        }
+    }
+}
+
+impl JsonValue {
+    /// Looks up a top-level object field by name.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: byte offset and a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(JsonValue::Str),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid UTF-8 in number".to_string(),
+        })?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            })
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("invalid \\u escape");
+                            };
+                            // Surrogates would need pairing; our writers
+                            // never emit them, so map to the replacement
+                            // character instead of failing the whole parse.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            offset: self.pos,
+                            message: "invalid UTF-8 in string".to_string(),
+                        })?;
+                    let ch = rest.chars().next().expect("peek saw a byte");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first problem.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content after JSON value");
+    }
+    Ok(value)
+}
+
+/// Flattens a JSON value into `(dotted key, leaf)` pairs: object fields
+/// join with `.`, array elements get `[i]`. Leaves are `Null` / `Bool` /
+/// `Num` / `Str`; empty objects and arrays produce no leaves.
+pub fn flatten(value: &JsonValue) -> Vec<(String, JsonValue)> {
+    fn walk(prefix: &str, value: &JsonValue, out: &mut Vec<(String, JsonValue)>) {
+        match value {
+            JsonValue::Obj(fields) => {
+                for (k, v) in fields {
+                    let key = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&key, v, out);
+                }
+            }
+            JsonValue::Arr(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    walk(&format!("{prefix}[{i}]"), v, out);
+                }
+            }
+            leaf => out.push((prefix.to_string(), leaf.clone())),
+        }
+    }
+    let mut out = Vec::new();
+    walk("", value, &mut out);
+    out
+}
+
+/// Knobs of a comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Relative threshold for timing fields (0.25 = 25% drift allowed in
+    /// the bad direction). Non-timing fields are always exact.
+    pub timing_threshold: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            timing_threshold: 0.25,
+        }
+    }
+}
+
+/// Whether a timing field is better when lower or when higher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+}
+
+/// Timing fields are the only fields allowed to drift: wall-clock
+/// measurements of a deterministic simulation. Matched on the leaf name so
+/// nesting and JSONL record prefixes don't matter.
+fn timing_direction(key: &str) -> Option<Direction> {
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    match leaf {
+        "wall_s" | "wall_clock_ms" => Some(Direction::LowerBetter),
+        "events_per_sec" | "sim_ms_per_wall_s" => Some(Direction::HigherBetter),
+        _ => None,
+    }
+}
+
+/// Verdict for one compared field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Equal (exact fields) or within the threshold (timing fields).
+    Pass,
+    /// A timing field moved beyond the threshold in the good direction.
+    Improved,
+    /// A timing field moved beyond the threshold in the bad direction.
+    Regressed,
+    /// An exact field differs.
+    Changed,
+    /// Present in the baseline, absent in the current run.
+    Missing,
+    /// Present only in the current run (informational, not a failure).
+    Extra,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the gate.
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            Verdict::Regressed | Verdict::Changed | Verdict::Missing
+        )
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Pass => "pass",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Changed => "CHANGED",
+            Verdict::Missing => "MISSING",
+            Verdict::Extra => "extra",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One compared field.
+#[derive(Debug, Clone)]
+pub struct FieldDiff {
+    /// Dotted leaf key (JSONL: prefixed with the record key).
+    pub key: String,
+    /// Baseline value, rendered (`None` for [`Verdict::Extra`]).
+    pub baseline: Option<String>,
+    /// Current value, rendered (`None` for [`Verdict::Missing`]).
+    pub current: Option<String>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of a comparison: one entry per compared field.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// All field diffs, in baseline order then current-only extras.
+    pub diffs: Vec<FieldDiff>,
+}
+
+impl CompareReport {
+    /// Diffs that fail the gate (regressions, changes, missing fields).
+    pub fn failures(&self) -> impl Iterator<Item = &FieldDiff> {
+        self.diffs.iter().filter(|d| d.verdict.is_failure())
+    }
+
+    /// Whether the comparison passes (no failing diffs).
+    pub fn is_pass(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// Human-readable multi-line summary: every non-`Pass` diff, then a
+    /// one-line tally.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diffs {
+            if d.verdict == Verdict::Pass {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>9}  {}  (baseline: {}, current: {})\n",
+                d.verdict.to_string(),
+                d.key,
+                d.baseline.as_deref().unwrap_or("-"),
+                d.current.as_deref().unwrap_or("-"),
+            ));
+        }
+        let failures = self.failures().count();
+        out.push_str(&format!(
+            "{} fields compared, {} failures\n",
+            self.diffs.len(),
+            failures
+        ));
+        out
+    }
+}
+
+fn leaf_verdict(key: &str, base: &JsonValue, cur: &JsonValue, opts: &CompareOptions) -> Verdict {
+    if let (Some(dir), JsonValue::Num(b), JsonValue::Num(c)) = (timing_direction(key), base, cur) {
+        if *b == 0.0 {
+            // No relative scale to judge against.
+            return Verdict::Pass;
+        }
+        let rel = (c - b) / b.abs();
+        return match dir {
+            Direction::LowerBetter if rel > opts.timing_threshold => Verdict::Regressed,
+            Direction::LowerBetter if rel < -opts.timing_threshold => Verdict::Improved,
+            Direction::HigherBetter if rel < -opts.timing_threshold => Verdict::Regressed,
+            Direction::HigherBetter if rel > opts.timing_threshold => Verdict::Improved,
+            _ => Verdict::Pass,
+        };
+    }
+    if base == cur {
+        Verdict::Pass
+    } else {
+        Verdict::Changed
+    }
+}
+
+/// Compares two already-parsed JSON values leaf-by-leaf.
+pub fn compare_values(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    opts: &CompareOptions,
+) -> CompareReport {
+    let base_leaves = flatten(baseline);
+    let cur_map: BTreeMap<String, JsonValue> = flatten(current).into_iter().collect();
+    let base_keys: BTreeMap<&str, ()> = base_leaves.iter().map(|(k, _)| (k.as_str(), ())).collect();
+    let mut diffs = Vec::new();
+    for (key, base) in &base_leaves {
+        match cur_map.get(key) {
+            Some(cur) => diffs.push(FieldDiff {
+                key: key.clone(),
+                baseline: Some(base.to_string()),
+                current: Some(cur.to_string()),
+                verdict: leaf_verdict(key, base, cur, opts),
+            }),
+            None => diffs.push(FieldDiff {
+                key: key.clone(),
+                baseline: Some(base.to_string()),
+                current: None,
+                verdict: Verdict::Missing,
+            }),
+        }
+    }
+    for (key, cur) in &cur_map {
+        if !base_keys.contains_key(key.as_str()) {
+            diffs.push(FieldDiff {
+                key: key.clone(),
+                baseline: None,
+                current: Some(cur.to_string()),
+                verdict: Verdict::Extra,
+            });
+        }
+    }
+    CompareReport { diffs }
+}
+
+/// Compares two single-document JSON reports (e.g. `BENCH_engine.json`).
+///
+/// # Errors
+///
+/// [`JsonError`] if either side fails to parse.
+pub fn compare_json(
+    baseline: &str,
+    current: &str,
+    opts: &CompareOptions,
+) -> Result<CompareReport, JsonError> {
+    let b = parse_json(baseline)?;
+    let c = parse_json(current)?;
+    Ok(compare_values(&b, &c, opts))
+}
+
+/// Identity of one JSONL record: its `name` field when present, otherwise
+/// the composite campaign-cell key, otherwise its position in the file.
+fn record_key(value: &JsonValue, index: usize) -> String {
+    if let Some(JsonValue::Str(name)) = value.get("name") {
+        return format!("name={name}");
+    }
+    let composite: Vec<String> = ["workload", "strategy", "grid_n", "field_seed", "fault"]
+        .iter()
+        .filter_map(|f| value.get(f).map(|v| format!("{f}={v}")))
+        .collect();
+    if composite.is_empty() {
+        format!("record[{index}]")
+    } else {
+        composite.join(",")
+    }
+}
+
+fn parse_records(text: &str) -> Result<Vec<(String, JsonValue)>, JsonError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| JsonError {
+            offset: e.offset,
+            message: format!("line {}: {}", i + 1, e.message),
+        })?;
+        out.push((record_key(&value, out.len()), value));
+    }
+    Ok(out)
+}
+
+/// Compares two JSON-lines files (e.g. campaign outputs) record-by-record.
+/// Records pair up by their `name` field, or by the composite campaign-cell
+/// key (`workload`, `strategy`, `grid_n`, `field_seed`, `fault`), or by
+/// position. A baseline record with no partner is a failure.
+///
+/// # Errors
+///
+/// [`JsonError`] if any line on either side fails to parse.
+pub fn compare_jsonl(
+    baseline: &str,
+    current: &str,
+    opts: &CompareOptions,
+) -> Result<CompareReport, JsonError> {
+    let base_records = parse_records(baseline)?;
+    let cur_records: BTreeMap<String, JsonValue> = parse_records(current)?.into_iter().collect();
+    let base_keys: BTreeMap<&str, ()> =
+        base_records.iter().map(|(k, _)| (k.as_str(), ())).collect();
+    let mut diffs = Vec::new();
+    for (key, base) in &base_records {
+        match cur_records.get(key) {
+            Some(cur) => {
+                for mut d in compare_values(base, cur, opts).diffs {
+                    d.key = format!("{key}.{}", d.key);
+                    diffs.push(d);
+                }
+            }
+            None => diffs.push(FieldDiff {
+                key: key.clone(),
+                baseline: Some("<record>".to_string()),
+                current: None,
+                verdict: Verdict::Missing,
+            }),
+        }
+    }
+    for key in cur_records.keys() {
+        if !base_keys.contains_key(key.as_str()) {
+            diffs.push(FieldDiff {
+                key: key.clone(),
+                baseline: None,
+                current: Some("<record>".to_string()),
+                verdict: Verdict::Extra,
+            });
+        }
+    }
+    Ok(CompareReport { diffs })
+}
+
+/// Flattens a [`RunReport`] into comparable leaves: strategy, the full
+/// metrics snapshot, completeness totals, energy, and engine counters.
+/// Everything here is deterministic, so [`diff_reports`] compares exactly.
+pub fn report_leaves(report: &RunReport) -> Vec<(String, JsonValue)> {
+    let snap = report.metrics.snapshot();
+    let mut out: Vec<(String, JsonValue)> = vec![
+        (
+            "strategy".to_string(),
+            JsonValue::Str(report.strategy.to_string()),
+        ),
+        (
+            "avg_transmission_time_pct".to_string(),
+            JsonValue::Num(snap.avg_transmission_time_pct),
+        ),
+        (
+            "total_tx_busy_ms".to_string(),
+            JsonValue::Num(snap.total_tx_busy_ms),
+        ),
+        (
+            "total_rx_busy_ms".to_string(),
+            JsonValue::Num(snap.total_rx_busy_ms),
+        ),
+        (
+            "total_sleep_ms".to_string(),
+            JsonValue::Num(snap.total_sleep_ms),
+        ),
+        (
+            "retransmissions".to_string(),
+            JsonValue::Num(snap.retransmissions as f64),
+        ),
+        (
+            "collisions".to_string(),
+            JsonValue::Num(snap.collisions as f64),
+        ),
+        ("losses".to_string(), JsonValue::Num(snap.losses as f64)),
+        ("gave_up".to_string(), JsonValue::Num(snap.gave_up as f64)),
+        (
+            "orphaned_drops".to_string(),
+            JsonValue::Num(snap.orphaned_drops as f64),
+        ),
+        ("samples".to_string(), JsonValue::Num(snap.samples as f64)),
+        (
+            "horizon_ms".to_string(),
+            JsonValue::Num(snap.horizon_ms as f64),
+        ),
+        (
+            "avg_synthetic_count".to_string(),
+            JsonValue::Num(report.avg_synthetic_count),
+        ),
+        (
+            "avg_benefit_ratio".to_string(),
+            JsonValue::Num(report.avg_benefit_ratio),
+        ),
+        ("energy_mj".to_string(), JsonValue::Num(report.energy_mj)),
+        (
+            "max_node_energy_mj".to_string(),
+            JsonValue::Num(report.max_node_energy_mj),
+        ),
+        (
+            "events_processed".to_string(),
+            JsonValue::Num(report.engine.events_processed as f64),
+        ),
+        (
+            "frames_total".to_string(),
+            JsonValue::Num(report.engine.frames_total as f64),
+        ),
+    ];
+    for (kind, count) in &snap.tx_count {
+        out.push((format!("tx_count.{kind}"), JsonValue::Num(*count as f64)));
+    }
+    for (kind, bytes) in &snap.tx_bytes {
+        out.push((format!("tx_bytes.{kind}"), JsonValue::Num(*bytes as f64)));
+    }
+    let (mut expected, mut answered, mut exp_rows, mut got_rows) = (0u64, 0u64, 0u64, 0u64);
+    for qc in report.completeness.per_query.values() {
+        expected += qc.expected_epochs;
+        answered += qc.answered_epochs;
+        exp_rows += qc.expected_rows;
+        got_rows += qc.delivered_rows;
+    }
+    out.push((
+        "completeness.expected_epochs".to_string(),
+        JsonValue::Num(expected as f64),
+    ));
+    out.push((
+        "completeness.answered_epochs".to_string(),
+        JsonValue::Num(answered as f64),
+    ));
+    out.push((
+        "completeness.expected_rows".to_string(),
+        JsonValue::Num(exp_rows as f64),
+    ));
+    out.push((
+        "completeness.delivered_rows".to_string(),
+        JsonValue::Num(got_rows as f64),
+    ));
+    out.push((
+        "completeness.repairs_triggered".to_string(),
+        JsonValue::Num(report.completeness.repairs_triggered as f64),
+    ));
+    out
+}
+
+/// Diffs two in-memory [`RunReport`]s over [`report_leaves`]. All leaves
+/// are deterministic, so any difference is a [`Verdict::Changed`] failure.
+pub fn diff_reports(baseline: &RunReport, current: &RunReport) -> CompareReport {
+    let opts = CompareOptions::default();
+    let to_obj = |r: &RunReport| JsonValue::Obj(report_leaves(r));
+    compare_values(&to_obj(baseline), &to_obj(current), &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_our_writers_emit() {
+        let v = parse_json(
+            r#"{"schema_version":2,"name":"engine_hot_path","wall_s":1.25,
+                "nested":{"a":[1,2,3],"b":null,"ok":true},"s":"x\"y\n"}"#,
+        )
+        .expect("valid JSON");
+        assert_eq!(v.get("schema_version"), Some(&JsonValue::Num(2.0)));
+        assert_eq!(v.get("s"), Some(&JsonValue::Str("x\"y\n".to_string())));
+        let flat = flatten(&v);
+        assert!(flat
+            .iter()
+            .any(|(k, v)| k == "nested.a[1]" && *v == JsonValue::Num(2.0)));
+        assert!(flat
+            .iter()
+            .any(|(k, v)| k == "nested.b" && *v == JsonValue::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a":}"#).is_err());
+        assert!(parse_json(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn exact_fields_must_match_exactly() {
+        let opts = CompareOptions::default();
+        let r = compare_json(r#"{"tx_frames":100}"#, r#"{"tx_frames":101}"#, &opts).unwrap();
+        assert!(!r.is_pass());
+        assert_eq!(r.diffs[0].verdict, Verdict::Changed);
+        let r = compare_json(r#"{"tx_frames":100}"#, r#"{"tx_frames":100}"#, &opts).unwrap();
+        assert!(r.is_pass());
+    }
+
+    #[test]
+    fn timing_fields_use_a_direction_aware_threshold() {
+        let opts = CompareOptions::default();
+        // 20% slower wall time: within the 25% budget.
+        let r = compare_json(r#"{"wall_s":1.0}"#, r#"{"wall_s":1.2}"#, &opts).unwrap();
+        assert!(r.is_pass());
+        // 50% slower: regression.
+        let r = compare_json(r#"{"wall_s":1.0}"#, r#"{"wall_s":1.5}"#, &opts).unwrap();
+        assert_eq!(r.diffs[0].verdict, Verdict::Regressed);
+        // 50% faster: improvement, still a pass.
+        let r = compare_json(r#"{"wall_s":1.0}"#, r#"{"wall_s":0.5}"#, &opts).unwrap();
+        assert_eq!(r.diffs[0].verdict, Verdict::Improved);
+        assert!(r.is_pass());
+        // Throughput is higher-is-better: halving it is a regression.
+        let r = compare_json(
+            r#"{"events_per_sec":1000.0}"#,
+            r#"{"events_per_sec":500.0}"#,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(r.diffs[0].verdict, Verdict::Regressed);
+        let r = compare_json(
+            r#"{"events_per_sec":1000.0}"#,
+            r#"{"events_per_sec":2000.0}"#,
+            &opts,
+        )
+        .unwrap();
+        assert!(r.is_pass());
+    }
+
+    #[test]
+    fn missing_baseline_fields_fail_and_extras_do_not() {
+        let opts = CompareOptions::default();
+        let r = compare_json(r#"{"a":1,"b":2}"#, r#"{"a":1}"#, &opts).unwrap();
+        assert!(!r.is_pass());
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| d.key == "b" && d.verdict == Verdict::Missing));
+        let r = compare_json(r#"{"a":1}"#, r#"{"a":1,"b":2}"#, &opts).unwrap();
+        assert!(r.is_pass());
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| d.key == "b" && d.verdict == Verdict::Extra));
+    }
+
+    #[test]
+    fn jsonl_records_pair_by_name_or_composite_key() {
+        let opts = CompareOptions::default();
+        // Named records pair regardless of order.
+        let base = "{\"name\":\"a\",\"v\":1}\n{\"name\":\"b\",\"v\":2}\n";
+        let cur = "{\"name\":\"b\",\"v\":2}\n{\"name\":\"a\",\"v\":1}\n";
+        assert!(compare_jsonl(base, cur, &opts).unwrap().is_pass());
+        // Campaign-style composite keys.
+        let base = "{\"workload\":\"A\",\"strategy\":\"two-tier\",\"grid_n\":4,\"v\":7}\n";
+        let cur = "{\"workload\":\"A\",\"strategy\":\"two-tier\",\"grid_n\":4,\"v\":8}\n";
+        let r = compare_jsonl(base, cur, &opts).unwrap();
+        assert!(!r.is_pass());
+        assert!(r
+            .diffs
+            .iter()
+            .any(|d| d.key.contains("strategy=") && d.key.ends_with(".v")));
+        // A dropped record is a failure.
+        let r = compare_jsonl(base, "", &opts).unwrap();
+        assert!(!r.is_pass());
+        assert!(r.diffs.iter().any(|d| d.verdict == Verdict::Missing));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let tight = CompareOptions {
+            timing_threshold: 0.05,
+        };
+        let r = compare_json(r#"{"wall_s":1.0}"#, r#"{"wall_s":1.2}"#, &tight).unwrap();
+        assert_eq!(r.diffs[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn summary_lists_failures_and_tallies() {
+        let opts = CompareOptions::default();
+        let r = compare_json(r#"{"a":1,"wall_s":1.0}"#, r#"{"a":2,"wall_s":1.0}"#, &opts).unwrap();
+        let s = r.summary();
+        assert!(s.contains("CHANGED"));
+        assert!(s.contains("2 fields compared, 1 failures"));
+    }
+}

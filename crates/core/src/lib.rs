@@ -46,6 +46,7 @@
 
 pub mod basestation;
 pub mod campaign;
+pub mod compare;
 pub mod innetwork;
 mod runner;
 
@@ -60,5 +61,6 @@ pub use campaign::{
 };
 pub use innetwork::{DagState, PartialEntry, RowEntry, TtmqoApp, TtmqoConfig, TtmqoPayload};
 pub use runner::{
-    run_experiment, ExperimentConfig, FieldKind, RunReport, Strategy, WorkloadAction, WorkloadEvent,
+    run_experiment, ExperimentConfig, FieldKind, QueryWindowSeries, RunReport, RunTimeseries,
+    Strategy, WorkloadAction, WorkloadEvent,
 };

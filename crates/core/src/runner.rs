@@ -20,11 +20,11 @@ use crate::innetwork::{TtmqoApp, TtmqoConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
-    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, Metrics, NodeId,
-    QueryCompleteness, RadioParams, SensorField, SimConfig, SimTime, Simulator, Topology,
-    TraceEvent, TraceHandle, UniformField,
+    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, Metrics, NodeId, NodeTimeseries,
+    QueryCompleteness, RadioParams, SensorField, SimConfig, SimTime, Simulator, TimeseriesConfig,
+    Topology, TraceEvent, TraceHandle, UniformField, WindowRecorder,
 };
-use ttmqo_stats::{EmpiricalDistribution, LevelStats, SelectivityEstimator};
+use ttmqo_stats::{EmpiricalDistribution, Histogram, LevelStats, SelectivityEstimator};
 use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
 
 /// Which optimization tiers run (§4's four configurations).
@@ -158,6 +158,11 @@ pub struct ExperimentConfig {
     /// disabled handle costs one branch per event site and keeps the run
     /// bit-identical to a build without the trace subsystem.
     pub trace: TraceHandle,
+    /// Windowed time-series collection. `None` (the default) records
+    /// nothing and keeps the run bit-identical (the `trace` contract);
+    /// `Some` fills [`RunReport::timeseries`] and selects the energy profile
+    /// used for the report's energy fields.
+    pub timeseries: Option<TimeseriesConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -177,6 +182,7 @@ impl Default for ExperimentConfig {
             innetwork: TtmqoConfig::default(),
             faults: FaultPlan::default(),
             trace: TraceHandle::disabled(),
+            timeseries: None,
         }
     }
 }
@@ -203,12 +209,227 @@ pub struct RunReport {
     /// Engine hot-path counters, including the per-phase event breakdown
     /// (timer / deliver / command / maintenance / fault).
     pub engine: EngineStats,
+    /// Whole-run radio+sensing energy (mJ), under the energy profile in
+    /// force: the timeseries config's profile when one is set, the default
+    /// profile otherwise.
+    pub energy_mj: f64,
+    /// The hottest single node's energy (mJ) under the same profile.
+    pub max_node_energy_mj: f64,
+    /// Windowed time-series; `Some` iff [`ExperimentConfig::timeseries`]
+    /// was set.
+    pub timeseries: Option<RunTimeseries>,
 }
 
 impl RunReport {
     /// The paper's headline metric for this run.
     pub fn avg_transmission_time_pct(&self) -> f64 {
         self.metrics.avg_transmission_time_pct()
+    }
+}
+
+/// Range upper bound (ms) of the per-window answer-latency histograms.
+/// Latencies beyond it clamp into the top bucket.
+const LATENCY_HIST_MAX_MS: f64 = 4096.0;
+
+/// Bucket count of the per-window answer-latency histograms.
+const LATENCY_HIST_BUCKETS: usize = 16;
+
+fn empty_latency_hist() -> Histogram {
+    Histogram::new(0.0, LATENCY_HIST_MAX_MS, LATENCY_HIST_BUCKETS)
+        .expect("static latency histogram config is valid")
+}
+
+/// One user query's windowed answer series, on the run's timeseries window
+/// grid.
+#[derive(Debug, Clone)]
+pub struct QueryWindowSeries {
+    /// Per-window answer-latency histogram (epoch start → arrival at the
+    /// base station, ms). Answers are bucketed by arrival time.
+    pub latency: Vec<Histogram>,
+    /// Answers mapped to this user per window.
+    pub answers: Vec<u64>,
+    /// Of those, answers carrying at least one row or aggregate.
+    pub nonempty: Vec<u64>,
+}
+
+/// Base-station-side windowed answer accounting, aligned with the engine's
+/// [`WindowRecorder`] grid. Built only when timeseries collection is on.
+struct TimeseriesCollector {
+    window_ms: u64,
+    per_query: BTreeMap<QueryId, QueryWindowSeries>,
+}
+
+impl TimeseriesCollector {
+    fn new(window_ms: u64) -> Self {
+        TimeseriesCollector {
+            window_ms: window_ms.max(1),
+            per_query: BTreeMap::new(),
+        }
+    }
+
+    fn note_answer(&mut self, uid: QueryId, arrival_ms: u64, latency_ms: u64, nonempty: bool) {
+        let w = (arrival_ms / self.window_ms) as usize;
+        let series = self
+            .per_query
+            .entry(uid)
+            .or_insert_with(|| QueryWindowSeries {
+                latency: Vec::new(),
+                answers: Vec::new(),
+                nonempty: Vec::new(),
+            });
+        while series.latency.len() <= w {
+            series.latency.push(empty_latency_hist());
+            series.answers.push(0);
+            series.nonempty.push(0);
+        }
+        series.latency[w].add(latency_ms as f64);
+        series.answers[w] += 1;
+        if nonempty {
+            series.nonempty[w] += 1;
+        }
+    }
+}
+
+/// Windowed time-series of one run: per-node radio/energy counters from the
+/// engine plus per-user-query answer/latency series on the same window grid,
+/// and the crash times needed for fault-recovery convergence analysis.
+#[derive(Debug, Clone)]
+pub struct RunTimeseries {
+    /// Per-node windowed counters (tx/rx busy, sleep, samples, energy) with
+    /// per-window load-imbalance statistics.
+    pub nodes: NodeTimeseries,
+    /// Per user query: windowed answer counts and latency histograms.
+    pub per_query: BTreeMap<QueryId, QueryWindowSeries>,
+    /// Crash times (ms) of the run's materialized fault schedule, in time
+    /// order; empty for fault-free runs.
+    pub crash_times_ms: Vec<u64>,
+}
+
+impl RunTimeseries {
+    /// Window length, ms.
+    pub fn window_ms(&self) -> u64 {
+        self.nodes.window_ms
+    }
+
+    /// Total non-empty answers per window, summed across user queries. At
+    /// least as long as the node series' window list (one longer when an
+    /// answer arrives exactly at the horizon of an evenly divided run).
+    pub fn window_nonempty(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.nodes.windows.len()];
+        for series in self.per_query.values() {
+            for (w, &ne) in series.nonempty.iter().enumerate() {
+                if w >= out.len() {
+                    out.resize(w + 1, 0);
+                }
+                out[w] += ne;
+            }
+        }
+        out
+    }
+
+    /// First window after `crash_ms` where the network has converged back to
+    /// its pre-fault baseline: per-window tx-busy Gini within `tolerance`
+    /// (absolute) of the pre-crash mean AND non-empty answers per window at
+    /// least `(1 - tolerance)` of the pre-crash mean. The baseline averages
+    /// every full-length window strictly before the crash's window.
+    ///
+    /// Returns the start (ms) of the first converged window, `None` when
+    /// there is no pre-crash baseline or the run never converges.
+    pub fn convergence_after_ms(&self, crash_ms: u64, tolerance: f64) -> Option<u64> {
+        let wm = self.nodes.window_ms.max(1);
+        let crash_w = (crash_ms / wm) as usize;
+        let nonempty = self.window_nonempty();
+        let windows = &self.nodes.windows;
+        let mut gini_sum = 0.0;
+        let mut ne_sum = 0.0;
+        let mut n = 0u32;
+        for (w, stats) in windows.iter().enumerate().take(crash_w) {
+            if stats.len_ms == wm {
+                gini_sum += stats.gini_tx_busy();
+                ne_sum += nonempty.get(w).copied().unwrap_or(0) as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let gini_base = gini_sum / n as f64;
+        let ne_base = ne_sum / n as f64;
+        for (w, stats) in windows.iter().enumerate().skip(crash_w + 1) {
+            if stats.len_ms == 0 {
+                continue;
+            }
+            let gini_ok = (stats.gini_tx_busy() - gini_base).abs() <= tolerance;
+            let ne_ok = nonempty.get(w).copied().unwrap_or(0) as f64 >= (1.0 - tolerance) * ne_base;
+            if gini_ok && ne_ok {
+                return Some(stats.start_ms);
+            }
+        }
+        None
+    }
+
+    /// [`Self::convergence_after_ms`] for every crash in
+    /// [`Self::crash_times_ms`]: `(crash ms, converged window start ms)`.
+    pub fn convergence_ms(&self, tolerance: f64) -> Vec<(u64, Option<u64>)> {
+        self.crash_times_ms
+            .iter()
+            .map(|&c| (c, self.convergence_after_ms(c, tolerance)))
+            .collect()
+    }
+
+    /// Serializes the full series as one JSON object with a deterministic
+    /// field order (hand-rolled; the vendored serde is an API stub).
+    pub fn to_json(&self) -> String {
+        fn push_u64_array(out: &mut String, key: &str, vals: &[u64]) {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":[");
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push(']');
+        }
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\"schema_version\":{},",
+            ttmqo_sim::SCHEMA_VERSION
+        ));
+        push_u64_array(&mut out, "crash_times_ms", &self.crash_times_ms);
+        out.push_str(",\"nodes\":");
+        out.push_str(&self.nodes.to_json());
+        out.push_str(",\"queries\":{");
+        for (i, (qid, series)) in self.per_query.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{{", qid.0));
+            push_u64_array(&mut out, "answers", &series.answers);
+            out.push(',');
+            push_u64_array(&mut out, "nonempty", &series.nonempty);
+            out.push_str(&format!(
+                ",\"latency_lo_ms\":{},\"latency_hi_ms\":{},\"latency_buckets\":[",
+                0.0, LATENCY_HIST_MAX_MS
+            ));
+            for (j, hist) in series.latency.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, b) in hist.buckets().iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&b.to_string());
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -295,6 +516,12 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
             move |_, _| TtmqoApp::new(innetwork.clone()),
         );
         sim.set_trace(config.trace.clone());
+        sim.set_timeseries(
+            config
+                .timeseries
+                .as_ref()
+                .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
+        );
         sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     } else {
@@ -307,6 +534,12 @@ pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> 
             |_, _| TinyDbApp::new(TinyDbConfig::default()),
         );
         sim.set_trace(config.trace.clone());
+        sim.set_timeseries(
+            config
+                .timeseries
+                .as_ref()
+                .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
+        );
         sim.install_fault_plan(&config.faults);
         drive(config, &topo, events, sim)
     }
@@ -459,6 +692,7 @@ fn ingest_outputs(
     topo: &Topology,
     answers: &mut BTreeMap<QueryId, Vec<(u64, EpochAnswer)>>,
     mut monitor: Option<&mut RepairMonitor>,
+    mut timeseries: Option<&mut TimeseriesCollector>,
     trace: &TraceHandle,
 ) {
     for record in fresh {
@@ -516,6 +750,14 @@ fn ingest_outputs(
                 if let Some(mon) = monitor.as_deref_mut() {
                     mon.note_answer(*uid, *epoch_ms, nonempty, record.time.as_ms());
                 }
+                if let Some(col) = timeseries.as_deref_mut() {
+                    col.note_answer(
+                        *uid,
+                        record.time.as_ms(),
+                        record.time.as_ms().saturating_sub(*epoch_ms),
+                        nonempty,
+                    );
+                }
                 if trace.is_enabled() {
                     let rows = match &mapped {
                         EpochAnswer::Rows(rows) => rows.len() as u64,
@@ -563,6 +805,13 @@ where
     let window_ms =
         (topo.max_level() as u64 + 1) * config.innetwork.slot_ms + config.innetwork.jitter_ms + 32;
     let mut monitor = (rewriting && schedule.is_some()).then(|| RepairMonitor::new(window_ms));
+
+    // Base-station-side windowed answer accounting, on the same window grid
+    // as the engine-side recorder installed by `run_experiment`.
+    let mut ts_collector = config
+        .timeseries
+        .as_ref()
+        .map(|c| TimeseriesCollector::new(c.window_ms));
 
     // Identity bookkeeping for non-rewriting strategies.
     let mut live_users: BTreeMap<QueryId, Query> = BTreeMap::new();
@@ -626,6 +875,7 @@ where
                     topo,
                     &mut answers,
                     Some(mon),
+                    ts_collector.as_mut(),
                     &config.trace,
                 );
                 let due = mon.due_repairs(b, &live_users);
@@ -677,6 +927,7 @@ where
             topo,
             &mut answers,
             monitor.as_mut(),
+            ts_collector.as_mut(),
             &config.trace,
         );
         // Accumulate time-weighted stats over [last_t, t).
@@ -810,15 +1061,49 @@ where
     };
 
     let total = config.duration.as_ms().max(1) as f64;
+    let metrics = sim.metrics().clone();
+    let energy_profile = config
+        .timeseries
+        .as_ref()
+        .map(|c| c.energy)
+        .unwrap_or_default();
+    let energy_mj = metrics.total_energy_mj(&energy_profile);
+    let max_node_energy_mj = metrics.max_node_energy_mj(&energy_profile);
+    let timeseries = sim.take_timeseries().map(|recorder| {
+        let nodes = recorder.finalize(config.duration);
+        let mut per_query = ts_collector.take().map(|c| c.per_query).unwrap_or_default();
+        // Pad every query series to the node grid so consumers can iterate
+        // window-for-window without length checks.
+        for series in per_query.values_mut() {
+            while series.latency.len() < nodes.windows.len() {
+                series.latency.push(empty_latency_hist());
+                series.answers.push(0);
+                series.nonempty.push(0);
+            }
+        }
+        let mut crash_times_ms: Vec<u64> = schedule
+            .as_ref()
+            .map(|s| s.crashes().iter().map(|c| c.at_ms).collect())
+            .unwrap_or_default();
+        crash_times_ms.sort_unstable();
+        RunTimeseries {
+            nodes,
+            per_query,
+            crash_times_ms,
+        }
+    });
     RunReport {
         strategy: config.strategy,
-        metrics: sim.metrics().clone(),
+        metrics,
         answers,
         avg_synthetic_count: weighted_syn / total,
         avg_benefit_ratio: weighted_ratio / total,
         optimizer_stats: optimizer.map(|o| o.stats()),
         completeness,
         engine: sim.engine_stats(),
+        energy_mj,
+        max_node_energy_mj,
+        timeseries,
     }
 }
 

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
-use ttmqo_sim::{MetricsSnapshot, RingSink, SimTime, TraceHandle, TraceSink};
+use ttmqo_sim::{MetricsSnapshot, RingSink, SimTime, TimeseriesConfig, TraceHandle, TraceSink};
 use ttmqo_workloads::workload_a;
 
 const GOLDEN_PATH: &str = concat!(
@@ -127,5 +127,44 @@ fn tracing_leaves_the_golden_cell_untouched() {
     assert!(
         !ring.lock().unwrap().is_empty(),
         "the traced run actually recorded events"
+    );
+}
+
+#[test]
+fn timeseries_leaves_the_golden_cell_untouched() {
+    // Same contract as tracing: the windowed recorder mirrors counters the
+    // engine already maintains, never draws from the simulation RNG, and
+    // never perturbs event order — so the golden cell with collection on
+    // must render identically to the cell with collection off.
+    let run = |timeseries: Option<TimeseriesConfig>| {
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(24 * 2048),
+            timeseries,
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&config, &workload_a());
+        (
+            render(Strategy::TwoTier, &report.metrics.snapshot()),
+            report.engine,
+            report.timeseries,
+        )
+    };
+
+    let off = run(None);
+    let on = run(Some(TimeseriesConfig::default()));
+
+    assert_eq!(off.0, on.0, "metrics diverged under timeseries collection");
+    assert_eq!(
+        off.1, on.1,
+        "engine stats diverged under timeseries collection"
+    );
+    assert!(off.2.is_none(), "disabled run must not carry a series");
+    let series = on.2.expect("enabled run carries a series");
+    assert!(!series.nodes.windows.is_empty(), "windows were recorded");
+    assert!(
+        !series.per_query.is_empty(),
+        "per-query answer series were recorded"
     );
 }

@@ -46,6 +46,7 @@ use crate::field::SensorField;
 use crate::metrics::Metrics;
 use crate::radio::{Destination, MsgKind, RadioParams};
 use crate::time::SimTime;
+use crate::timeseries::WindowRecorder;
 use crate::topology::{NodeId, Topology};
 use crate::trace::{TraceDest, TraceEvent, TraceHandle};
 use std::cmp::Reverse;
@@ -129,6 +130,7 @@ pub struct Ctx<'a, P, O> {
     actions: &'a mut Vec<Action<P>>,
     rng_state: &'a mut u64,
     trace: &'a TraceHandle,
+    timeseries: &'a mut Option<Box<WindowRecorder>>,
 }
 
 /// One record emitted by a node via [`Ctx::emit`].
@@ -201,6 +203,9 @@ impl<'a, P, O> Ctx<'a, P, O> {
     /// energy budget).
     pub fn read_sensor(&mut self, attr: Attribute) -> f64 {
         self.metrics.record_sample();
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.record_sample(self.now_us, self.node.index());
+        }
         self.field.reading(self.node, attr, self.now())
     }
 
@@ -451,6 +456,11 @@ pub struct Simulator<A: NodeApp> {
     /// Trace emission handle; the default (disabled) handle costs one branch
     /// per emission site and never allocates or draws RNG.
     trace: TraceHandle,
+    /// Windowed time-series recorder mirroring every metrics delta, bucketed
+    /// by event time. `None` (the default) costs one branch per mirror site
+    /// and keeps runs bit-for-bit identical; enabled recording never draws
+    /// RNG either, so it holds both ways (the `TraceHandle` contract).
+    timeseries: Option<Box<WindowRecorder>>,
     now_us: u64,
     seq: u64,
     rng_state: u64,
@@ -495,6 +505,7 @@ impl<A: NodeApp> Simulator<A> {
             incoming: vec![Vec::new(); n],
             faults: None,
             trace: TraceHandle::disabled(),
+            timeseries: None,
             now_us: 0,
             seq: 0,
             rng_state,
@@ -547,6 +558,21 @@ impl<A: NodeApp> Simulator<A> {
     /// enabled sinks too).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Installs (or removes, with `None`) a windowed time-series recorder.
+    /// Every metrics delta the engine records from now on is mirrored into
+    /// it, bucketed by event time; retrieve the finished series with
+    /// [`Simulator::take_timeseries`]. Recording never draws from the
+    /// simulation RNG, so runs are bit-for-bit identical with or without it.
+    pub fn set_timeseries(&mut self, recorder: Option<Box<WindowRecorder>>) {
+        self.timeseries = recorder;
+    }
+
+    /// Detaches and returns the time-series recorder installed via
+    /// [`Simulator::set_timeseries`], if any.
+    pub fn take_timeseries(&mut self) -> Option<Box<WindowRecorder>> {
+        self.timeseries.take()
     }
 
     /// Records emitted by nodes so far.
@@ -727,6 +753,9 @@ impl<A: NodeApp> Simulator<A> {
                     let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
                     self.metrics
                         .record_sleep(node.index(), -(pending as f64) / 1000.0);
+                    if let Some(ts) = self.timeseries.as_deref_mut() {
+                        ts.record_sleep(self.now_us, node.index(), -(pending as f64) / 1000.0);
+                    }
                     self.sleep_until_us[node.index()] = 0;
                 }
                 EventKind::Recover { node } => {
@@ -798,6 +827,7 @@ impl<A: NodeApp> Simulator<A> {
                 actions: &mut actions,
                 rng_state: &mut self.rng_state,
                 trace: &self.trace,
+                timeseries: &mut self.timeseries,
             };
             match cb {
                 Callback::Start => app.on_start(&mut ctx),
@@ -851,6 +881,13 @@ impl<A: NodeApp> Simulator<A> {
                     let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
                     self.metrics
                         .record_sleep(node.index(), duration_ms as f64 - pending as f64 / 1000.0);
+                    if let Some(ts) = self.timeseries.as_deref_mut() {
+                        ts.record_sleep(
+                            self.now_us,
+                            node.index(),
+                            duration_ms as f64 - pending as f64 / 1000.0,
+                        );
+                    }
                     self.sleep_until_us[node.index()] = self.now_us + duration_ms * 1000;
                 }
                 Action::Wake => {
@@ -860,6 +897,9 @@ impl<A: NodeApp> Simulator<A> {
                     let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
                     self.metrics
                         .record_sleep(node.index(), -(pending as f64) / 1000.0);
+                    if let Some(ts) = self.timeseries.as_deref_mut() {
+                        ts.record_sleep(self.now_us, node.index(), -(pending as f64) / 1000.0);
+                    }
                     self.sleep_until_us[node.index()] = 0;
                 }
             }
@@ -935,6 +975,10 @@ impl<A: NodeApp> Simulator<A> {
         self.tx_ready_at_us[src.index()] = end_us;
         self.metrics
             .record_tx(src.index(), kind, total_bytes, dur_us as f64 / 1000.0);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            // Bucketed by airtime start, like the FrameTx trace event.
+            ts.record_tx(start_us, src.index(), kind, dur_us as f64 / 1000.0);
+        }
         if self.trace.is_enabled() {
             let tdest = match &dest {
                 Destination::Broadcast => TraceDest::Broadcast,
@@ -1052,6 +1096,9 @@ impl<A: NodeApp> Simulator<A> {
                 continue;
             }
             self.metrics.record_rx(receiver.index(), dur_ms);
+            if let Some(ts) = self.timeseries.as_deref_mut() {
+                ts.record_rx(self.now_us, receiver.index(), dur_ms);
+            }
 
             let mut loss_prob = if self.radio.distance_loss {
                 let d = self
@@ -1069,6 +1116,9 @@ impl<A: NodeApp> Simulator<A> {
                 !corrupted && loss_prob > 0.0 && next_rand_f64(&mut self.rng_state) < loss_prob;
             if corrupted {
                 self.metrics.record_collision();
+                if let Some(ts) = self.timeseries.as_deref_mut() {
+                    ts.record_collision(self.now_us);
+                }
                 if self.trace.is_enabled() {
                     self.trace.emit(
                         self.now_us,
@@ -1082,6 +1132,9 @@ impl<A: NodeApp> Simulator<A> {
             }
             if lost {
                 self.metrics.record_loss();
+                if let Some(ts) = self.timeseries.as_deref_mut() {
+                    ts.record_loss(self.now_us);
+                }
                 if self.trace.is_enabled() {
                     self.trace.emit(
                         self.now_us,
@@ -1150,6 +1203,9 @@ impl<A: NodeApp> Simulator<A> {
     ) {
         if retries_left == 0 {
             self.metrics.record_gave_up();
+            if let Some(ts) = self.timeseries.as_deref_mut() {
+                ts.record_gave_up(self.now_us);
+            }
             if self.trace.is_enabled() {
                 self.trace.emit(
                     self.now_us,
@@ -1172,6 +1228,9 @@ impl<A: NodeApp> Simulator<A> {
             return;
         }
         self.metrics.record_retransmission();
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.record_retransmission(self.now_us);
+        }
         if self.trace.is_enabled() {
             self.trace.emit(
                 self.now_us,

@@ -75,6 +75,7 @@ mod field;
 mod metrics;
 mod radio;
 mod time;
+mod timeseries;
 mod topology;
 mod trace;
 
@@ -87,9 +88,12 @@ pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorFiel
 pub use metrics::{CompletenessReport, Metrics, MetricsSnapshot, QueryCompleteness};
 pub use radio::{Destination, MsgKind, RadioParams};
 pub use time::SimTime;
+pub use timeseries::{
+    gini, max_mean_ratio, NodeTimeseries, TimeseriesConfig, WindowRecorder, WindowStats,
+};
 pub use topology::{NodeId, Position, Topology, TopologyError, GRID_SPACING_FT, RADIO_RANGE_FT};
 pub use trace::{
     chrome_trace, epoch_rollups, summarize_trace, trace_header, EpochRollup, JsonLinesSink,
-    ProvenanceId, RingSink, TraceDest, TraceEvent, TraceHandle, TraceRecord, TraceSink,
-    TraceSummary, SCHEMA_VERSION,
+    ProvenanceId, RingSink, TraceDest, TraceEvent, TraceHandle, TraceRecord, TraceSchemaError,
+    TraceSink, TraceSummary, SCHEMA_VERSION,
 };

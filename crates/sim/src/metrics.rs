@@ -236,6 +236,31 @@ impl Metrics {
         per_node + profile.sample_uj * self.samples as f64 / 1000.0
     }
 
+    /// One node's energy over the measured window, millijoules, under the
+    /// given power profile (sampling energy excluded — it is accounted
+    /// globally, see [`Metrics::total_energy_mj`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_energy_mj(&self, profile: &EnergyProfile, node: usize) -> f64 {
+        profile.node_energy_mj(
+            self.horizon.as_ms() as f64,
+            self.tx_busy_ms[node],
+            self.rx_busy_ms[node],
+            self.sleep_ms[node],
+            0.0,
+        )
+    }
+
+    /// The hottest node's energy over the measured window, millijoules — the
+    /// hotspot metric the network-wide mean hides. 0.0 for an empty network.
+    pub fn max_node_energy_mj(&self, profile: &EnergyProfile) -> f64 {
+        (0..self.tx_busy_ms.len())
+            .map(|n| self.node_energy_mj(profile, n))
+            .fold(0.0, f64::max)
+    }
+
     /// End of the measured window.
     pub fn horizon(&self) -> SimTime {
         self.horizon
@@ -658,6 +683,24 @@ mod tests {
         report.repairs_triggered = 2;
         report.repair_latency_ms = vec![1000, 3000];
         assert_eq!(report.mean_repair_latency_ms(), Some(2000.0));
+    }
+
+    #[test]
+    fn per_node_energy_sums_to_the_total_and_finds_the_hotspot() {
+        let p = EnergyProfile::default();
+        let mut m = Metrics::new(3);
+        m.record_tx(0, MsgKind::Result, 30, 400.0); // the hotspot
+        m.record_tx(1, MsgKind::Result, 30, 10.0);
+        m.record_rx(2, 50.0);
+        m.record_sleep(1, 500.0);
+        m.record_sample();
+        m.set_horizon(SimTime::from_ms(1000));
+        let per_node: f64 = (0..3).map(|n| m.node_energy_mj(&p, n)).sum();
+        let sample_mj = p.sample_uj / 1000.0;
+        assert!((per_node + sample_mj - m.total_energy_mj(&p)).abs() < 1e-9);
+        assert_eq!(m.max_node_energy_mj(&p), m.node_energy_mj(&p, 0));
+        assert!(m.max_node_energy_mj(&p) > m.node_energy_mj(&p, 1));
+        assert_eq!(Metrics::new(0).max_node_energy_mj(&p), 0.0);
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! Windowed per-node time-series metrics.
+//!
+//! The paper's headline metric — *average* transmission time over nodes
+//! (§4.1) — is a network-wide mean over the whole run. It hides exactly what
+//! TTMQO's DAG routing and sleep modes are supposed to fix: the energy
+//! hotspot around the base station and load imbalance across branches. This
+//! module resolves the aggregate [`Metrics`](crate::Metrics) in two extra
+//! dimensions:
+//!
+//! * **time** — counters are bucketed into fixed windows (default one base
+//!   epoch, 2048 ms), so convergence after a fault and epoch-phase structure
+//!   become visible;
+//! * **space** — every window carries per-node vectors (tx/rx busy, sleep,
+//!   samples, energy), plus derived imbalance statistics (max/mean ratio and
+//!   the [`gini`] coefficient over per-node transmit time).
+//!
+//! # Reconciliation invariant
+//!
+//! The engine mirrors *the same deltas* into the [`WindowRecorder`] that it
+//! feeds the aggregate `Metrics`, bucketed by event time. Summing any counter
+//! over all windows therefore reproduces the aggregate total exactly
+//! (integer counters) or up to f64 re-association (time sums). Two
+//! consequences are deliberate:
+//!
+//! * a nap is credited in full to the window in which it was *planned* and
+//!   retracted (negative delta) in the window of an early wake, re-plan or
+//!   crash — so one window's sleep can exceed the window length or dip
+//!   negative while the series total stays exact;
+//! * per-window energy uses the *unclamped* idle time
+//!   `len − (tx + rx + sleep)`, so window energies telescope to
+//!   [`Metrics::total_energy_mj`](crate::Metrics::total_energy_mj) whenever
+//!   the aggregate accounting itself does not clamp.
+//!
+//! Recording never allocates on a per-event basis beyond amortized window
+//! growth, and never draws from the simulation RNG, so enabling the recorder
+//! leaves runs bit-for-bit identical — the same contract
+//! [`TraceHandle`](crate::TraceHandle) keeps.
+
+use crate::energy::EnergyProfile;
+use crate::radio::MsgKind;
+use crate::time::SimTime;
+use crate::trace::SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use ttmqo_query::BASE_EPOCH_MS;
+
+/// Configuration for windowed time-series collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeseriesConfig {
+    /// Window length, ms (default: one base epoch, 2048 ms).
+    pub window_ms: u64,
+    /// Power profile used for per-window energy accounting.
+    pub energy: EnergyProfile,
+}
+
+impl Default for TimeseriesConfig {
+    fn default() -> Self {
+        TimeseriesConfig {
+            window_ms: BASE_EPOCH_MS,
+            energy: EnergyProfile::default(),
+        }
+    }
+}
+
+/// Per-window accumulator, one slot per elapsed window.
+#[derive(Debug, Clone)]
+struct WindowAccum {
+    tx_busy_ms: Vec<f64>,
+    rx_busy_ms: Vec<f64>,
+    sleep_ms: Vec<f64>,
+    samples: Vec<u64>,
+    tx_frames: Vec<u64>,
+    tx_count: BTreeMap<MsgKind, u64>,
+    collisions: u64,
+    retransmissions: u64,
+    losses: u64,
+    gave_up: u64,
+}
+
+impl WindowAccum {
+    fn new(nodes: usize) -> Self {
+        WindowAccum {
+            tx_busy_ms: vec![0.0; nodes],
+            rx_busy_ms: vec![0.0; nodes],
+            sleep_ms: vec![0.0; nodes],
+            samples: vec![0; nodes],
+            tx_frames: vec![0; nodes],
+            tx_count: BTreeMap::new(),
+            collisions: 0,
+            retransmissions: 0,
+            losses: 0,
+            gave_up: 0,
+        }
+    }
+}
+
+/// Live collector the engine mirrors its metric deltas into, bucketed by
+/// event time. Install with `Simulator::set_timeseries`; retrieve the
+/// finished series with `Simulator::take_timeseries` and [`Self::finalize`].
+#[derive(Debug, Clone)]
+pub struct WindowRecorder {
+    window_us: u64,
+    nodes: usize,
+    energy: EnergyProfile,
+    windows: Vec<WindowAccum>,
+}
+
+impl WindowRecorder {
+    /// A recorder for `nodes` nodes under the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window_ms` is zero.
+    pub fn new(nodes: usize, config: &TimeseriesConfig) -> Self {
+        assert!(config.window_ms > 0, "window length must be positive");
+        WindowRecorder {
+            window_us: config.window_ms * 1000,
+            nodes,
+            energy: config.energy,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window length, ms.
+    pub fn window_ms(&self) -> u64 {
+        self.window_us / 1000
+    }
+
+    fn slot(&mut self, time_us: u64) -> &mut WindowAccum {
+        let idx = (time_us / self.window_us) as usize;
+        while self.windows.len() <= idx {
+            self.windows.push(WindowAccum::new(self.nodes));
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Mirrors `Metrics::record_tx` (airtime only; bytes are not windowed).
+    pub fn record_tx(&mut self, time_us: u64, node: usize, kind: MsgKind, busy_ms: f64) {
+        let w = self.slot(time_us);
+        w.tx_busy_ms[node] += busy_ms;
+        w.tx_frames[node] += 1;
+        *w.tx_count.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Mirrors `Metrics::record_rx`.
+    pub fn record_rx(&mut self, time_us: u64, node: usize, busy_ms: f64) {
+        self.slot(time_us).rx_busy_ms[node] += busy_ms;
+    }
+
+    /// Mirrors `Metrics::record_sleep`: the full nap is credited to the
+    /// planning window; retractions arrive as negative `ms`.
+    pub fn record_sleep(&mut self, time_us: u64, node: usize, ms: f64) {
+        self.slot(time_us).sleep_ms[node] += ms;
+    }
+
+    /// Mirrors `Metrics::record_sample`.
+    pub fn record_sample(&mut self, time_us: u64, node: usize) {
+        self.slot(time_us).samples[node] += 1;
+    }
+
+    /// Mirrors `Metrics::record_collision`.
+    pub fn record_collision(&mut self, time_us: u64) {
+        self.slot(time_us).collisions += 1;
+    }
+
+    /// Mirrors `Metrics::record_retransmission`.
+    pub fn record_retransmission(&mut self, time_us: u64) {
+        self.slot(time_us).retransmissions += 1;
+    }
+
+    /// Mirrors `Metrics::record_loss`.
+    pub fn record_loss(&mut self, time_us: u64) {
+        self.slot(time_us).losses += 1;
+    }
+
+    /// Mirrors `Metrics::record_gave_up`.
+    pub fn record_gave_up(&mut self, time_us: u64) {
+        self.slot(time_us).gave_up += 1;
+    }
+
+    /// Closes the series at `horizon` and derives per-window energy and
+    /// imbalance statistics. Windows are padded out to the horizon so a
+    /// quiet tail still appears (with idle-only energy); the last window is
+    /// truncated at the horizon.
+    pub fn finalize(mut self, horizon: SimTime) -> NodeTimeseries {
+        let horizon_ms = horizon.as_ms();
+        let window_ms = self.window_us / 1000;
+        // Pad so that every ms up to the horizon is covered by a window.
+        let covering = (horizon_ms.div_ceil(window_ms)).max(1) as usize;
+        while self.windows.len() < covering {
+            self.windows.push(WindowAccum::new(self.nodes));
+        }
+        let windows = self
+            .windows
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let start_ms = i as u64 * window_ms;
+                // Truncate at the horizon; windows past it have length 0 but
+                // still carry their counters, so totals stay exact.
+                let len_ms = (start_ms + window_ms).min(horizon_ms) - start_ms.min(horizon_ms);
+                let energy_mj = (0..self.nodes)
+                    .map(|n| {
+                        // Unclamped idle keeps window energies telescoping to
+                        // the aggregate total (see module docs).
+                        let idle_ms =
+                            len_ms as f64 - (w.tx_busy_ms[n] + w.rx_busy_ms[n] + w.sleep_ms[n]);
+                        (self.energy.tx_mw * w.tx_busy_ms[n]
+                            + self.energy.rx_mw * w.rx_busy_ms[n]
+                            + self.energy.idle_mw * idle_ms
+                            + self.energy.sleep_mw * w.sleep_ms[n])
+                            / 1000.0
+                            + self.energy.sample_uj * w.samples[n] as f64 / 1000.0
+                    })
+                    .collect();
+                WindowStats {
+                    start_ms,
+                    len_ms,
+                    tx_busy_ms: w.tx_busy_ms,
+                    rx_busy_ms: w.rx_busy_ms,
+                    sleep_ms: w.sleep_ms,
+                    samples: w.samples,
+                    tx_frames: w.tx_frames,
+                    energy_mj,
+                    tx_count: w.tx_count,
+                    collisions: w.collisions,
+                    retransmissions: w.retransmissions,
+                    losses: w.losses,
+                    gave_up: w.gave_up,
+                }
+            })
+            .collect();
+        NodeTimeseries {
+            window_ms,
+            nodes: self.nodes,
+            horizon_ms,
+            windows,
+        }
+    }
+}
+
+/// One finished window of the series: per-node vectors plus window-level
+/// event counters, with derived imbalance accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window start, ms.
+    pub start_ms: u64,
+    /// Window length, ms — shorter than the configured window when truncated
+    /// at the horizon, zero for windows entirely past it.
+    pub len_ms: u64,
+    /// Per-node transmit airtime in this window, ms.
+    pub tx_busy_ms: Vec<f64>,
+    /// Per-node receive airtime in this window, ms.
+    pub rx_busy_ms: Vec<f64>,
+    /// Per-node sleep time credited in this window, ms. Naps are credited in
+    /// full at plan time and retracted on early wake/crash, so a single
+    /// window may exceed its length or dip negative (the series total is
+    /// exact).
+    pub sleep_ms: Vec<f64>,
+    /// Per-node sensor samples taken in this window.
+    pub samples: Vec<u64>,
+    /// Per-node frames transmitted in this window (all kinds).
+    pub tx_frames: Vec<u64>,
+    /// Per-node energy over this window, mJ (idle = remainder of the window,
+    /// unclamped — see module docs).
+    pub energy_mj: Vec<f64>,
+    /// Transmissions by message kind in this window (network-wide).
+    pub tx_count: BTreeMap<MsgKind, u64>,
+    /// Frames corrupted by collisions in this window (per receiver).
+    pub collisions: u64,
+    /// Retransmissions triggered in this window.
+    pub retransmissions: u64,
+    /// Frames dropped by the loss model in this window (per receiver).
+    pub losses: u64,
+    /// Unicast frames abandoned in this window after exhausting retries.
+    pub gave_up: u64,
+}
+
+impl WindowStats {
+    /// Total transmit airtime across all nodes in this window, ms.
+    pub fn total_tx_busy_ms(&self) -> f64 {
+        self.tx_busy_ms.iter().sum()
+    }
+
+    /// Total energy across all nodes in this window, mJ.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy_mj.iter().sum()
+    }
+
+    /// Load imbalance as max-over-mean of per-node transmit time: 1.0 means
+    /// perfectly balanced, n means one node carries everything. Defined as
+    /// 1.0 for a silent window (nothing transmitted is trivially balanced).
+    pub fn max_mean_tx_ratio(&self) -> f64 {
+        max_mean_ratio(&self.tx_busy_ms)
+    }
+
+    /// [`gini`] coefficient over per-node transmit time in this window.
+    pub fn gini_tx_busy(&self) -> f64 {
+        gini(&self.tx_busy_ms)
+    }
+}
+
+/// The finished time series: one [`WindowStats`] per window from time zero
+/// to the run horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTimeseries {
+    /// Configured window length, ms.
+    pub window_ms: u64,
+    /// Number of nodes (length of every per-node vector).
+    pub nodes: usize,
+    /// Run horizon the series was finalized at, ms.
+    pub horizon_ms: u64,
+    /// The windows, in time order, covering `[0, horizon_ms]`.
+    pub windows: Vec<WindowStats>,
+}
+
+impl NodeTimeseries {
+    /// A node's transmit airtime summed over all windows, ms.
+    pub fn node_total_tx_busy_ms(&self, node: usize) -> f64 {
+        self.windows.iter().map(|w| w.tx_busy_ms[node]).sum()
+    }
+
+    /// A node's energy summed over all windows, mJ.
+    pub fn node_total_energy_mj(&self, node: usize) -> f64 {
+        self.windows.iter().map(|w| w.energy_mj[node]).sum()
+    }
+
+    /// Worst (maximum) per-window Gini coefficient over transmit time.
+    pub fn peak_gini_tx_busy(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(WindowStats::gini_tx_busy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic JSON rendering of the whole series (single object, one
+    /// `windows` array), used for the campaign's per-cell timeseries files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.windows.len() * 256);
+        out.push_str(&format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"window_ms\":{},\"nodes\":{},\"horizon_ms\":{},\"windows\":[",
+            self.window_ms, self.nodes, self.horizon_ms
+        ));
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start_ms\":{},\"len_ms\":{}",
+                w.start_ms, w.len_ms
+            ));
+            f64_array(&mut out, "tx_busy_ms", &w.tx_busy_ms);
+            f64_array(&mut out, "rx_busy_ms", &w.rx_busy_ms);
+            f64_array(&mut out, "sleep_ms", &w.sleep_ms);
+            f64_array(&mut out, "energy_mj", &w.energy_mj);
+            u64_array(&mut out, "samples", &w.samples);
+            u64_array(&mut out, "tx_frames", &w.tx_frames);
+            out.push_str(",\"tx_count\":{");
+            for (j, (kind, n)) in w.tx_count.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{kind}\":{n}"));
+            }
+            out.push('}');
+            out.push_str(&format!(
+                ",\"collisions\":{},\"retransmissions\":{},\"losses\":{},\"gave_up\":{}",
+                w.collisions, w.retransmissions, w.losses, w.gave_up
+            ));
+            out.push_str(&format!(
+                ",\"max_mean_tx_ratio\":{},\"gini_tx_busy\":{}}}",
+                json_f64(w.max_mean_tx_ratio()),
+                json_f64(w.gini_tx_busy())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn f64_array(out: &mut String, key: &str, values: &[f64]) {
+    out.push_str(&format!(",\"{key}\":["));
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*v));
+    }
+    out.push(']');
+}
+
+fn u64_array(out: &mut String, key: &str, values: &[u64]) {
+    out.push_str(&format!(",\"{key}\":["));
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Max-over-mean ratio of a load vector: 1.0 for perfectly balanced (or
+/// empty/all-zero) load, up to `n` when one element carries everything.
+pub fn max_mean_ratio(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().sum();
+    if values.is_empty() || sum <= 0.0 {
+        return 1.0;
+    }
+    let mean = sum / values.len() as f64;
+    values.iter().fold(0.0_f64, |m, &v| m.max(v)) / mean
+}
+
+/// Gini coefficient of a non-negative load vector: 0.0 for perfectly equal
+/// load (including all-zero and empty vectors), approaching 1.0 as the load
+/// concentrates on a single element.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    let sum: f64 = values.iter().sum();
+    if n == 0 || sum <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("load values are comparable"));
+    // G = (2·Σᵢ i·xᵢ)/(n·Σx) − (n+1)/n with 1-based ranks over the sorted
+    // values — the standard mean-absolute-difference form.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v)
+        .sum();
+    (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window_ms: u64) -> TimeseriesConfig {
+        TimeseriesConfig {
+            window_ms,
+            ..TimeseriesConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_window_is_one_base_epoch() {
+        assert_eq!(TimeseriesConfig::default().window_ms, 2048);
+    }
+
+    #[test]
+    fn events_bucket_by_time() {
+        let mut r = WindowRecorder::new(2, &config(1000));
+        r.record_tx(0, 0, MsgKind::Result, 5.0);
+        r.record_tx(999_999, 1, MsgKind::Result, 7.0);
+        r.record_tx(1_000_000, 0, MsgKind::Maintenance, 11.0);
+        r.record_collision(2_500_000);
+        let ts = r.finalize(SimTime::from_ms(3000));
+        assert_eq!(ts.windows.len(), 3);
+        assert_eq!(ts.windows[0].tx_busy_ms, vec![5.0, 7.0]);
+        assert_eq!(ts.windows[0].tx_frames, vec![1, 1]);
+        assert_eq!(ts.windows[1].tx_busy_ms, vec![11.0, 0.0]);
+        assert_eq!(ts.windows[1].tx_count[&MsgKind::Maintenance], 1);
+        assert_eq!(ts.windows[2].collisions, 1);
+        assert_eq!(ts.windows[2].tx_frames, vec![0, 0]);
+    }
+
+    #[test]
+    fn finalize_pads_quiet_tail_and_truncates_last_window() {
+        let r = WindowRecorder::new(1, &config(1000));
+        let ts = r.finalize(SimTime::from_ms(2500));
+        assert_eq!(ts.windows.len(), 3);
+        assert_eq!(ts.windows[2].start_ms, 2000);
+        assert_eq!(ts.windows[2].len_ms, 500);
+        // An idle node burns idle power for exactly the window length.
+        let p = EnergyProfile::default();
+        assert!((ts.windows[2].energy_mj[0] - p.idle_mw * 500.0 / 1000.0).abs() < 1e-9);
+        let total: f64 = (0..3).map(|w| ts.windows[w].energy_mj[0]).sum();
+        assert!((total - p.idle_mw * 2500.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_retraction_can_leave_a_window_negative_but_totals_exact() {
+        let mut r = WindowRecorder::new(1, &config(1000));
+        // A 3 s nap planned in window 0; crash in window 2 retracts 1.5 s.
+        r.record_sleep(100_000, 0, 3000.0);
+        r.record_sleep(2_500_000, 0, -1500.0);
+        let ts = r.finalize(SimTime::from_ms(3000));
+        assert_eq!(ts.windows[0].sleep_ms[0], 3000.0);
+        assert_eq!(ts.windows[2].sleep_ms[0], -1500.0);
+        let total: f64 = ts.windows.iter().map(|w| w.sleep_ms[0]).sum();
+        assert_eq!(total, 1500.0);
+        // Energy still telescopes: total = idle(3000−1500) + sleep(1500).
+        let p = EnergyProfile::default();
+        let energy: f64 = ts.windows.iter().map(|w| w.energy_mj[0]).sum();
+        let expect = (p.idle_mw * 1500.0 + p.sleep_mw * 1500.0) / 1000.0;
+        assert!((energy - expect).abs() < 1e-9, "{energy} vs {expect}");
+    }
+
+    #[test]
+    fn gini_known_values() {
+        // Perfect equality.
+        assert_eq!(gini(&[1.0, 1.0, 1.0, 1.0]), 0.0);
+        // All load on one of n elements → (n−1)/n.
+        assert!((gini(&[0.0, 0.0, 0.0, 4.0]) - 0.75).abs() < 1e-12);
+        // Order must not matter.
+        assert!((gini(&[4.0, 0.0, 0.0, 0.0]) - 0.75).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        // A known intermediate case: [1,2,3,4] → G = 0.25.
+        assert!((gini(&[1.0, 2.0, 3.0, 4.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_mean_ratio_known_values() {
+        assert_eq!(max_mean_ratio(&[2.0, 2.0]), 1.0);
+        assert_eq!(max_mean_ratio(&[0.0, 4.0]), 2.0);
+        assert_eq!(max_mean_ratio(&[]), 1.0);
+        assert_eq!(max_mean_ratio(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn window_imbalance_accessors() {
+        let mut r = WindowRecorder::new(4, &config(1000));
+        r.record_tx(0, 3, MsgKind::Result, 4.0);
+        let ts = r.finalize(SimTime::from_ms(1000));
+        let w = &ts.windows[0];
+        assert_eq!(w.max_mean_tx_ratio(), 4.0);
+        assert!((w.gini_tx_busy() - 0.75).abs() < 1e-12);
+        assert_eq!(ts.peak_gini_tx_busy(), w.gini_tx_busy());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_balanced() {
+        let mut r = WindowRecorder::new(2, &config(1000));
+        r.record_tx(0, 0, MsgKind::Result, 5.0);
+        r.record_rx(500_000, 1, 2.5);
+        r.record_sample(600_000, 1);
+        let ts = r.finalize(SimTime::from_ms(1000));
+        let a = ts.to_json();
+        let b = ts.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION}")));
+        assert!(a.contains("\"tx_busy_ms\":[5,0]"));
+        assert!(a.contains("\"samples\":[0,1]"));
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "balanced braces: {a}"
+        );
+    }
+}

@@ -46,7 +46,7 @@ use ttmqo_query::QueryId;
 /// `schema_version`. This constant is the single source of truth — bump it
 /// here (and document the change in DESIGN.md §13) whenever any report's
 /// field set changes shape.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Identity of one sensed sample: origin node and epoch start packed into a
 /// `u64` (`node << 48 | epoch_ms`). Rows already carry both on the wire, so
@@ -753,7 +753,9 @@ impl TraceSink for RingSink {
     fn record(&mut self, rec: &TraceRecord) {
         if self.capacity > 0 && self.records.len() == self.capacity {
             self.records.pop_front();
-            self.dropped += 1;
+            // Saturate: a pathological run must not wrap the counter back
+            // to "nothing dropped".
+            self.dropped = self.dropped.saturating_add(1);
         }
         self.records.push_back(rec.clone());
     }
@@ -848,6 +850,9 @@ pub struct TraceSummary {
     pub hop_distribution: BTreeMap<u64, u64>,
     /// Per-epoch rollups at `BASE_EPOCH_MS` granularity.
     pub rollups: Vec<EpochRollup>,
+    /// Non-empty lines that were neither a record (no `ev` field) nor a
+    /// header (no `schema_version` field) and were skipped.
+    pub malformed_lines: u64,
 }
 
 impl TraceSummary {
@@ -867,9 +872,43 @@ impl TraceSummary {
     }
 }
 
+/// A trace was written under an incompatible schema version: its field set
+/// may have changed shape, so parsing it as the current schema would produce
+/// silently wrong numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSchemaError {
+    /// The `schema_version` found in the trace header.
+    pub found: u32,
+    /// The version this library writes and reads ([`SCHEMA_VERSION`]).
+    pub expected: u32,
+}
+
+impl fmt::Display for TraceSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace schema version {} does not match this library's version {}",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for TraceSchemaError {}
+
 /// Summarizes a JSON-lines trace (header line + records). Rollups are
 /// bucketed by `epoch_len_ms`.
-pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> TraceSummary {
+///
+/// A trace with no header at all is tolerated (`schema_version` stays
+/// `None`); lines that are neither records nor headers are skipped and
+/// counted in [`TraceSummary::malformed_lines`].
+///
+/// # Errors
+///
+/// [`TraceSchemaError`] if the trace's header names a `schema_version`
+/// different from [`SCHEMA_VERSION`] — the field set may have changed shape
+/// between versions, so parsing on anyway would produce silently wrong
+/// numbers.
+pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> Result<TraceSummary, TraceSchemaError> {
     let mut summary = TraceSummary::default();
     // Hops per provenance id, and which provenances were delivered.
     let mut hops: BTreeMap<u64, u64> = BTreeMap::new();
@@ -882,7 +921,16 @@ pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> TraceSummary {
         let Some(ev) = json_str_field(line, "ev") else {
             // The header (or an unknown line): pick up the schema version.
             if let Some(v) = json_u64_field(line, "schema_version") {
-                summary.schema_version = Some(v as u32);
+                let v = v as u32;
+                if v != SCHEMA_VERSION {
+                    return Err(TraceSchemaError {
+                        found: v,
+                        expected: SCHEMA_VERSION,
+                    });
+                }
+                summary.schema_version = Some(v);
+            } else {
+                summary.malformed_lines += 1;
             }
             continue;
         };
@@ -986,7 +1034,7 @@ pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> TraceSummary {
         *summary.hop_distribution.entry(h).or_insert(0) += 1;
     }
     summary.rollups = epoch_rollups(&records, epoch_len_ms);
-    summary
+    Ok(summary)
 }
 
 /// Converts a JSON-lines trace into Chrome trace-event JSON
@@ -1267,8 +1315,9 @@ mod tests {
             text.push_str(&r.to_json());
             text.push('\n');
         }
-        let s = summarize_trace(&text, 2048);
+        let s = summarize_trace(&text, 2048).expect("schema matches");
         assert_eq!(s.schema_version, Some(SCHEMA_VERSION));
+        assert_eq!(s.malformed_lines, 0);
         assert_eq!(s.events, 4);
         assert_eq!(s.by_kind["result-hop"], 2);
         assert_eq!(s.answers_per_query[&1], 1);
@@ -1286,5 +1335,123 @@ mod tests {
         assert!(chrome.ends_with("]}"));
         assert!(chrome.contains("\"name\":\"result-hop\""));
         assert_eq!(chrome.matches("\"ph\":\"i\"").count(), 4);
+    }
+
+    #[test]
+    fn summarize_rejects_a_mismatched_schema_version() {
+        let text = format!(
+            "{{\"schema_version\":{},\"format\":\"ttmqo-trace\"}}\n",
+            SCHEMA_VERSION + 1
+        );
+        let err = summarize_trace(&text, 2048).expect_err("future schema must be rejected");
+        assert_eq!(err.found, SCHEMA_VERSION + 1);
+        assert_eq!(err.expected, SCHEMA_VERSION);
+        assert!(err.to_string().contains("does not match"));
+        // The rejection happens even when the header follows records.
+        let mut late = TraceRecord {
+            time_us: 0,
+            event: TraceEvent::Wake { node: NodeId(1) },
+        }
+        .to_json();
+        late.push('\n');
+        late.push_str(&text);
+        assert!(summarize_trace(&late, 2048).is_err());
+    }
+
+    #[test]
+    fn summarize_counts_malformed_lines_and_tolerates_a_missing_header() {
+        let mut text = String::from("this is not json\n{\"unrelated\":1}\n");
+        text.push_str(
+            &TraceRecord {
+                time_us: 1000,
+                event: TraceEvent::Wake { node: NodeId(1) },
+            }
+            .to_json(),
+        );
+        text.push('\n');
+        let s = summarize_trace(&text, 2048).expect("no header: tolerated");
+        assert_eq!(s.schema_version, None);
+        assert_eq!(s.malformed_lines, 2);
+        assert_eq!(s.events, 1);
+        assert_eq!(s.by_kind["wake"], 1);
+    }
+
+    #[test]
+    fn summarize_of_an_empty_trace_is_empty() {
+        for text in ["", "\n\n"] {
+            let s = summarize_trace(text, 2048).expect("empty trace is fine");
+            assert_eq!(s, TraceSummary::default());
+            assert_eq!(s.events, 0);
+            assert!(s.rollups.is_empty());
+            assert_eq!(s.total_answers(), 0);
+            assert_eq!(s.mean_latency_ms(), None);
+        }
+        // A header-only trace parses to zero events but a known version.
+        let mut header = trace_header();
+        header.push('\n');
+        let s = summarize_trace(&header, 2048).unwrap();
+        assert_eq!(s.schema_version, Some(SCHEMA_VERSION));
+        assert_eq!(s.events, 0);
+    }
+
+    #[test]
+    fn rollups_handle_single_epoch_and_horizon_boundary_records() {
+        // A run one epoch long: everything lands in bucket 0, including a
+        // record timestamped exactly at the run horizon (2048 ms boundary
+        // opens bucket 2048 — events *at* the horizon belong to the next
+        // bucket, matching the window convention).
+        let recs = vec![
+            TraceRecord {
+                time_us: 0,
+                event: TraceEvent::FrameTx {
+                    src: NodeId(1),
+                    kind: MsgKind::Result,
+                    dest: TraceDest::Broadcast,
+                    bytes: 10,
+                    airtime_us: 100,
+                },
+            },
+            TraceRecord {
+                time_us: 2_047_999,
+                event: TraceEvent::FrameTx {
+                    src: NodeId(1),
+                    kind: MsgKind::Result,
+                    dest: TraceDest::Broadcast,
+                    bytes: 10,
+                    airtime_us: 100,
+                },
+            },
+            TraceRecord {
+                time_us: 2_048_000, // exactly at the horizon of a 1-epoch run
+                event: TraceEvent::SleepStart {
+                    node: NodeId(2),
+                    duration_ms: 100,
+                },
+            },
+        ];
+        let rollups = epoch_rollups(&recs, 2048);
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].epoch_ms, 0);
+        assert_eq!(rollups[0].tx, 2);
+        assert_eq!(rollups[1].epoch_ms, 2048);
+        assert_eq!(rollups[1].sleeps, 1);
+        // Degenerate epoch length: clamped to 1 ms buckets, no panic.
+        let tiny = epoch_rollups(&recs, 0);
+        assert_eq!(tiny.iter().map(|r| r.tx).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn ring_sink_drop_counter_saturates() {
+        let mut ring = RingSink::new(1);
+        ring.dropped = u64::MAX;
+        let rec = TraceRecord {
+            time_us: 0,
+            event: TraceEvent::Wake { node: NodeId(0) },
+        };
+        ring.record(&rec); // fills the ring
+        ring.record(&rec); // evicts: dropped must saturate, not wrap
+        ring.record(&rec);
+        assert_eq!(ring.dropped(), u64::MAX);
+        assert_eq!(ring.len(), 1);
     }
 }

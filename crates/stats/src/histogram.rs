@@ -77,6 +77,21 @@ impl Histogram {
         self.buckets.len()
     }
 
+    /// Raw per-bucket counts, lowest bucket first (for serialization).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Lower bound of the configured range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the configured range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Total number of observations added.
     pub fn total(&self) -> u64 {
         self.total

@@ -1,0 +1,96 @@
+//! Run-comparison / regression gate: diff two report files field-by-field
+//! and exit nonzero when the current run regressed against the baseline.
+//!
+//! Accepts the repo's two report shapes and auto-detects which one it got:
+//!
+//! * single JSON objects — the benches' `BENCH_engine.json` /
+//!   `BENCH_faults.json`;
+//! * JSON lines — campaign outputs (`BENCH_campaign.json`), records paired
+//!   by `name` or by the campaign-cell coordinates.
+//!
+//! Timing fields (`wall_s`, `wall_clock_ms`, `events_per_sec`,
+//! `sim_ms_per_wall_s`) are judged against a direction-aware relative
+//! threshold; every other field must match exactly — the simulator is
+//! deterministic, so a counter that moved is a behaviour change, not noise.
+//! CI runs this against the checked-in baselines under `bench/baselines/`.
+//!
+//! ```text
+//! cargo run --release --example report_diff -- \
+//!     bench/baselines/BENCH_engine.json crates/bench/BENCH_engine.json \
+//!     [--threshold 0.25]
+//! ```
+
+use std::process::ExitCode;
+
+use ttmqo::core::compare::{compare_json, compare_jsonl, CompareOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(t) if t >= 0.0 => opts.timing_threshold = t,
+                    _ => {
+                        eprintln!("--threshold needs a non-negative number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: report_diff <baseline.json> <current.json> [--threshold 0.25]");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    // A file with more than one non-empty line is a JSON-lines report.
+    let is_jsonl = baseline.lines().filter(|l| !l.trim().is_empty()).count() > 1;
+    let result = if is_jsonl {
+        compare_jsonl(&baseline, &current, &opts)
+    } else {
+        compare_json(&baseline, &current, &opts)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("comparison failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{} vs {} (timing threshold {:.0}%)",
+        baseline_path,
+        current_path,
+        opts.timing_threshold * 100.0
+    );
+    print!("{}", report.summary());
+    if report.is_pass() {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -65,12 +65,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let summary = summarize_trace(&text, epoch_ms);
+    let summary = match summarize_trace(&text, epoch_ms) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("cannot analyze {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match summary.schema_version {
         Some(v) => println!("trace {path} (schema v{v})"),
         None => println!("trace {path} (no schema header)"),
     }
     println!("{} events", summary.events);
+    if summary.malformed_lines > 0 {
+        println!("{} malformed lines skipped", summary.malformed_lines);
+    }
 
     println!("\nevents by kind:");
     for (kind, n) in &summary.by_kind {

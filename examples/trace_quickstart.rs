@@ -57,7 +57,7 @@ fn main() {
     );
 
     let text = std::fs::read_to_string(&path).expect("trace file written by the campaign");
-    let summary = summarize_trace(&text, 2048);
+    let summary = summarize_trace(&text, 2048).expect("trace schema matches the library");
     println!(
         "\ntrace: {} events, {} answers mapped to {} user queries",
         summary.events,
