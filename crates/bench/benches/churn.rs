@@ -1,0 +1,74 @@
+//! Churn bench: Tier-1 streaming admission/departure throughput, indexed vs
+//! exhaustive, with regression tracking against the previous run.
+//!
+//! Writes `BENCH_churn.json` (JSON lines, two records per scenario: the
+//! indexed run and its exhaustive twin). If a previous report exists the
+//! admitted/sec delta per record is printed, so admission-path regressions
+//! show up as a negative column rather than a silent drift.
+//!
+//! `CHURN_BENCH_SCALE=smoke` shrinks the schedules for CI smoke runs.
+
+use ttmqo_bench::{
+    churn_pair, parse_prior_churn_report, print_table, ChurnBenchParams, CHURN_REPORT_FILE,
+};
+
+fn main() {
+    let smoke = std::env::var("CHURN_BENCH_SCALE").as_deref() == Ok("smoke");
+    let prior = std::fs::read_to_string(CHURN_REPORT_FILE)
+        .map(|text| parse_prior_churn_report(&text))
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    for params in ChurnBenchParams::default_scenarios(smoke) {
+        let (indexed, exhaustive) = churn_pair(&params);
+        for r in [indexed, exhaustive] {
+            let delta = prior
+                .iter()
+                .find(|(name, _)| *name == r.name)
+                .map(|(_, prev)| format!("{:+.1}%", 100.0 * (r.admitted_per_sec / prev - 1.0)))
+                .unwrap_or_else(|| "-".to_string());
+            rows.push(vec![
+                r.name.clone(),
+                r.admitted.to_string(),
+                r.peak_live.to_string(),
+                r.peak_synthetics.to_string(),
+                format!("{:.0}", r.admitted_per_sec),
+                delta,
+                format!("{:.0}", r.admit_p50_us),
+                format!("{:.0}", r.admit_p99_us),
+                r.scanned.to_string(),
+                r.pruned.to_string(),
+                if r.speedup_vs_exhaustive > 0.0 {
+                    format!("{:.2}x", r.speedup_vs_exhaustive)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+            lines.push(r.to_json());
+        }
+    }
+    print_table(
+        "Churn bench — Tier-1 streaming admission/departure",
+        &[
+            "scenario",
+            "admitted",
+            "peak live",
+            "peak syn",
+            "admit/s",
+            "vs prior",
+            "p50 µs",
+            "p99 µs",
+            "scanned",
+            "pruned",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let report = lines.join("\n") + "\n";
+    match std::fs::write(CHURN_REPORT_FILE, report) {
+        Ok(()) => eprintln!("wrote {} records to {CHURN_REPORT_FILE}", lines.len()),
+        Err(e) => eprintln!("could not write {CHURN_REPORT_FILE}: {e}"),
+    }
+}

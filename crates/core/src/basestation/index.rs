@@ -1,0 +1,409 @@
+//! Candidate index over the running synthetic queries.
+//!
+//! Algorithm 1 as written scores the probe against *every* running synthetic
+//! query, which is fine for the paper's 48 concurrent queries and hopeless
+//! for streaming admission at thousands. The index keeps the synthetics
+//! bucketed by the features that decide whether a pair can possibly score
+//! positive under the cost model (Eqs. 1–3), so `insert_probe` only scores
+//! the plausible candidates — and provably reaches the *same* decision as
+//! the exhaustive scan:
+//!
+//! * **epoch class** (acquisition ↔ acquisition): a merge changes the epoch
+//!   to the GCD. If neither epoch divides the other, the merged query fires
+//!   at least twice as often as either input while shipping at-least-as-long
+//!   results at at-least-as-high selectivity, so the benefit is never
+//!   positive. Only epoch-comparable candidates can win.
+//! * **region grid cells** (acquisition ↔ acquisition, only when the cost
+//!   model knows node positions): a merge unions the region boxes. For
+//!   *disjoint* regions the union covers at least the nodes of both, so the
+//!   merged cost is at least the sum of the inputs' costs and the benefit is
+//!   never positive. Regioned synthetics register in every grid cell their
+//!   box overlaps; the lookup only returns candidates sharing a cell with
+//!   the probe's box (overlapping boxes always share the cell containing a
+//!   common point). Without positions the cost model prices every region as
+//!   the whole field, disjoint regions *do* merge beneficially (they share
+//!   `C_start`), and this dimension is disabled.
+//! * **normalized predicate set** (aggregation ↔ aggregation): both merging
+//!   (`can_integrate`) and coverage of an aggregation by an aggregation
+//!   require *equivalent* predicate sets, and normalized equivalence is
+//!   structural equality — an exact-key lookup.
+//! * **attribute set**: recorded as part of each synthetic's signature (and
+//!   used to sort batched arrivals so similar queries are admitted
+//!   adjacently), but deliberately **not** used for pruning: acquisitions
+//!   with disjoint attribute sets still merge beneficially because the
+//!   merged query shares one `C_start` per epoch (see `DESIGN.md` §15).
+//!
+//! Mixed acquisition ↔ aggregation pairs admit no sound pruning at all (an
+//! aggregation's two ops over one attribute can compress into a shorter
+//! acquisition row even across disjoint regions), so the lookup always
+//! returns every opposite-kind synthetic.
+//!
+//! The lookup returns candidate ids in ascending id order — the same order
+//! the exhaustive `BTreeMap` scan visits them — so first-covering-wins and
+//! strict-greater tie-breaking are preserved bit-for-bit. Every candidate
+//! the index prunes scores ≤ 0, and a pruned candidate can therefore never
+//! beat an included one nor trigger the covered early-exit.
+
+use std::collections::{BTreeMap, BTreeSet};
+use ttmqo_query::{Attribute, Query, QueryId, Region};
+
+/// Grid side of the region-overlap index (cells = `REGION_GRID_N²`).
+const REGION_GRID_N: usize = 8;
+
+/// Structural key of a normalized predicate set: `(attr, min, max)` per
+/// range, in attribute order. [`ttmqo_query::PredicateSet::normalize`] drops
+/// full-domain ranges, so two predicate sets are `equivalent` exactly when
+/// their keys are equal. `-0.0` is canonicalized to `0.0` so bitwise keys
+/// agree with `==` on bounds.
+type PredKey = Vec<(Attribute, u64, u64)>;
+
+fn canon_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+fn pred_key(q: &Query) -> PredKey {
+    q.predicates()
+        .iter()
+        .map(|p| (p.attr(), canon_bits(p.min()), canon_bits(p.max())))
+        .collect()
+}
+
+/// Deterministic counters of index effectiveness (reported by the churn
+/// bench; pure functions of the admitted workload, never of the wall clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Candidate-set lookups performed (one per `insert_probe` round).
+    pub lookups: u64,
+    /// Candidates actually scored by `Beneficial`.
+    pub scanned: u64,
+    /// Candidates the index pruned without scoring (running synthetics
+    /// minus returned candidates, summed over lookups).
+    pub pruned: u64,
+}
+
+/// The bounding box of the deployment, pre-divided into grid cells.
+#[derive(Debug, Clone)]
+struct RegionGrid {
+    x_min: f64,
+    y_min: f64,
+    /// Cell extent; at least a tiny epsilon so degenerate fields still map.
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl RegionGrid {
+    fn new(positions: &[(f64, f64)]) -> Option<RegionGrid> {
+        let (mut x_min, mut y_min) = (f64::INFINITY, f64::INFINITY);
+        let (mut x_max, mut y_max) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in positions {
+            x_min = x_min.min(x);
+            y_min = y_min.min(y);
+            x_max = x_max.max(x);
+            y_max = y_max.max(y);
+        }
+        if !x_min.is_finite() {
+            return None;
+        }
+        let n = REGION_GRID_N as f64;
+        Some(RegionGrid {
+            x_min,
+            y_min,
+            cell_w: ((x_max - x_min) / n).max(1e-9),
+            cell_h: ((y_max - y_min) / n).max(1e-9),
+        })
+    }
+
+    /// Cells a region's box overlaps, clamped into the grid so every box —
+    /// even one entirely outside the deployment — maps to at least one cell.
+    fn cells(&self, r: &Region) -> impl Iterator<Item = usize> {
+        let clamp = |v: f64| (v.max(0.0) as usize).min(REGION_GRID_N - 1);
+        let cx0 = clamp(((r.x_min() - self.x_min) / self.cell_w).floor());
+        let cx1 = clamp(((r.x_max() - self.x_min) / self.cell_w).floor());
+        let cy0 = clamp(((r.y_min() - self.y_min) / self.cell_h).floor());
+        let cy1 = clamp(((r.y_max() - self.y_min) / self.cell_h).floor());
+        (cy0..=cy1).flat_map(move |cy| (cx0..=cx1).map(move |cx| cy * REGION_GRID_N + cx))
+    }
+}
+
+/// The index proper. Maintained incrementally by the optimizer on every
+/// synthetic install/uninstall; `lookup` returns the candidate ids worth
+/// scoring for a probe, in ascending id order.
+#[derive(Debug)]
+pub(crate) struct CandidateIndex {
+    /// All acquisition synthetics (returned whole for aggregation probes).
+    acqs: BTreeSet<QueryId>,
+    /// All aggregation synthetics (returned whole for acquisition probes).
+    aggs: BTreeSet<QueryId>,
+    /// Acquisitions bucketed by epoch duration, ms.
+    acq_by_epoch: BTreeMap<u64, BTreeSet<QueryId>>,
+    /// Aggregations bucketed by exact normalized predicate key.
+    agg_by_pred: BTreeMap<PredKey, BTreeSet<QueryId>>,
+    /// Regioned acquisitions per grid cell (`None` without positions).
+    grid: Option<RegionGrid>,
+    acq_cells: Vec<BTreeSet<QueryId>>,
+    /// Acquisitions with no region clause (match every probe region).
+    acq_everywhere: BTreeSet<QueryId>,
+}
+
+impl CandidateIndex {
+    /// Builds an empty index. `positions` are the deployment's sensing-node
+    /// coordinates; when empty, region pruning is disabled (matching the
+    /// cost model, which then prices every region as the whole field).
+    pub(crate) fn new(positions: &[(f64, f64)]) -> Self {
+        let grid = RegionGrid::new(positions);
+        let cells = if grid.is_some() {
+            REGION_GRID_N * REGION_GRID_N
+        } else {
+            0
+        };
+        CandidateIndex {
+            acqs: BTreeSet::new(),
+            aggs: BTreeSet::new(),
+            acq_by_epoch: BTreeMap::new(),
+            agg_by_pred: BTreeMap::new(),
+            grid,
+            acq_cells: vec![BTreeSet::new(); cells],
+            acq_everywhere: BTreeSet::new(),
+        }
+    }
+
+    /// Registers a just-installed synthetic query.
+    pub(crate) fn insert(&mut self, id: QueryId, query: &Query) {
+        if query.is_aggregation() {
+            self.aggs.insert(id);
+            self.agg_by_pred
+                .entry(pred_key(query))
+                .or_default()
+                .insert(id);
+            return;
+        }
+        self.acqs.insert(id);
+        self.acq_by_epoch
+            .entry(query.epoch().as_ms())
+            .or_default()
+            .insert(id);
+        match (query.region(), &self.grid) {
+            (Some(r), Some(grid)) => {
+                for cell in grid.cells(r) {
+                    self.acq_cells[cell].insert(id);
+                }
+            }
+            _ => {
+                self.acq_everywhere.insert(id);
+            }
+        }
+    }
+
+    /// Unregisters an uninstalled synthetic query (keys recomputed from the
+    /// same immutable `Query`, so removal mirrors insertion exactly).
+    pub(crate) fn remove(&mut self, id: QueryId, query: &Query) {
+        if query.is_aggregation() {
+            self.aggs.remove(&id);
+            if let Some(bucket) = self.agg_by_pred.get_mut(&pred_key(query)) {
+                bucket.remove(&id);
+                if bucket.is_empty() {
+                    self.agg_by_pred.remove(&pred_key(query));
+                }
+            }
+            return;
+        }
+        self.acqs.remove(&id);
+        let epoch = query.epoch().as_ms();
+        if let Some(bucket) = self.acq_by_epoch.get_mut(&epoch) {
+            bucket.remove(&id);
+            if bucket.is_empty() {
+                self.acq_by_epoch.remove(&epoch);
+            }
+        }
+        match (query.region(), &self.grid) {
+            (Some(r), Some(grid)) => {
+                for cell in grid.cells(r) {
+                    self.acq_cells[cell].remove(&id);
+                }
+            }
+            _ => {
+                self.acq_everywhere.remove(&id);
+            }
+        }
+    }
+
+    /// Number of indexed synthetics.
+    pub(crate) fn len(&self) -> usize {
+        self.acqs.len() + self.aggs.len()
+    }
+
+    /// Candidate ids worth scoring for `probe`, ascending. Every omitted
+    /// synthetic is guaranteed to score ≤ 0 against the probe.
+    pub(crate) fn lookup(&self, probe: &Query) -> BTreeSet<QueryId> {
+        let mut out: BTreeSet<QueryId> = BTreeSet::new();
+        if probe.is_aggregation() {
+            // Mixed pairs admit no pruning; agg-agg needs equivalent
+            // predicates for both merge and coverage.
+            out.extend(self.acqs.iter().copied());
+            if let Some(bucket) = self.agg_by_pred.get(&pred_key(probe)) {
+                out.extend(bucket.iter().copied());
+            }
+            return out;
+        }
+        out.extend(self.aggs.iter().copied());
+        let pe = probe.epoch().as_ms();
+        // Region filter: with a grid and a regioned probe, only acquisitions
+        // sharing a grid cell (or region-free ones) can score positive.
+        let region_ok: Option<BTreeSet<QueryId>> = match (probe.region(), &self.grid) {
+            (Some(r), Some(grid)) => {
+                let mut ok = self.acq_everywhere.clone();
+                for cell in grid.cells(r) {
+                    ok.extend(self.acq_cells[cell].iter().copied());
+                }
+                Some(ok)
+            }
+            _ => None,
+        };
+        for (&epoch, bucket) in &self.acq_by_epoch {
+            if !epoch.is_multiple_of(pe) && !pe.is_multiple_of(epoch) {
+                continue;
+            }
+            match &region_ok {
+                Some(ok) => out.extend(bucket.iter().filter(|id| ok.contains(id))),
+                None => out.extend(bucket.iter().copied()),
+            }
+        }
+        out
+    }
+}
+
+/// Sort key for batched admission: groups arrivals by kind, attribute set,
+/// epoch and predicates so that mergeable queries are admitted back to back
+/// and fold into the same synthetic while it is still the freshest candidate.
+/// The attribute set is safe *here* — it only orders admissions, it never
+/// prunes candidates (attribute-disjoint acquisitions still merge
+/// beneficially, so attribute-set pruning would be unsound).
+pub(crate) fn batch_sort_key(q: &Query) -> (bool, Vec<Attribute>, u64, PredKey, u64) {
+    (
+        q.is_aggregation(),
+        q.sampled_attributes(),
+        q.epoch().as_ms(),
+        pred_key(q),
+        q.id().0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_query::{parse_query, EpochDuration};
+
+    fn q(id: u64, text: &str) -> Query {
+        parse_query(QueryId(id), text).unwrap()
+    }
+
+    #[test]
+    fn epoch_incomparable_acquisitions_are_pruned() {
+        let mut ix = CandidateIndex::new(&[]);
+        let a = q(1, "select light epoch duration 4096"); // 2× base
+        let b = q(2, "select light epoch duration 6144"); // 3× base
+        let c = q(3, "select light epoch duration 8192"); // 4× base
+        ix.insert(a.id(), &a);
+        ix.insert(b.id(), &b);
+        ix.insert(c.id(), &c);
+        let got = ix.lookup(&q(9, "select temp epoch duration 4096"));
+        // 4096 | 4096 and 4096 | 8192; 6144 is incomparable with 4096.
+        assert!(got.contains(&QueryId(1)));
+        assert!(!got.contains(&QueryId(2)));
+        assert!(got.contains(&QueryId(3)));
+    }
+
+    #[test]
+    fn aggregations_match_only_equivalent_predicates_plus_all_acquisitions() {
+        let mut ix = CandidateIndex::new(&[]);
+        let acq = q(1, "select light epoch duration 4096");
+        let same = q(
+            2,
+            "select max(light) where 100<=light<=300 epoch duration 4096",
+        );
+        let diff = q(
+            3,
+            "select max(light) where 100<=light<=400 epoch duration 4096",
+        );
+        ix.insert(acq.id(), &acq);
+        ix.insert(same.id(), &same);
+        ix.insert(diff.id(), &diff);
+        let got = ix.lookup(&q(
+            9,
+            "select min(light) where 100<=light<=300 epoch duration 8192",
+        ));
+        assert!(got.contains(&QueryId(1)), "all acquisitions included");
+        assert!(
+            got.contains(&QueryId(2)),
+            "equivalent-predicate aggregation"
+        );
+        assert!(!got.contains(&QueryId(3)), "different predicates pruned");
+    }
+
+    #[test]
+    fn region_pruning_requires_positions() {
+        // Two disjoint unit squares, far apart.
+        let mk = |id: u64, x0: f64| {
+            Query::from_parts(
+                QueryId(id),
+                ttmqo_query::Selection::attributes([Attribute::Light]),
+                ttmqo_query::PredicateSet::new(),
+                EpochDuration::from_ms(4096).unwrap(),
+            )
+            .unwrap()
+            .with_region(Region::new(x0, 0.0, x0 + 10.0, 10.0).unwrap())
+        };
+        let far = mk(1, 1000.0);
+        let near = mk(2, 5.0);
+        let probe = mk(9, 0.0);
+
+        // Without positions: regions are not priced, nothing is pruned.
+        let mut blind = CandidateIndex::new(&[]);
+        blind.insert(far.id(), &far);
+        blind.insert(near.id(), &near);
+        assert_eq!(blind.lookup(&probe).len(), 2);
+
+        // With positions spanning both squares: the far box is pruned.
+        let positions: Vec<(f64, f64)> = (0..32).map(|i| (i as f64 * 40.0, 5.0)).collect();
+        let mut ix = CandidateIndex::new(&positions);
+        ix.insert(far.id(), &far);
+        ix.insert(near.id(), &near);
+        let got = ix.lookup(&probe);
+        assert!(got.contains(&QueryId(2)));
+        assert!(!got.contains(&QueryId(1)));
+        // Overlapping boxes always share a cell, so `near` stays visible
+        // from anywhere it overlaps.
+        assert!(ix.lookup(&near).contains(&QueryId(2)));
+    }
+
+    #[test]
+    fn remove_mirrors_insert() {
+        let positions: Vec<(f64, f64)> = (0..16).map(|i| (i as f64, i as f64)).collect();
+        let mut ix = CandidateIndex::new(&positions);
+        let queries = [
+            q(1, "select light epoch duration 4096"),
+            q(
+                2,
+                "select max(light) where 0<=light<=300 epoch duration 8192",
+            ),
+            q(
+                3,
+                "select temp, light where 10<=temp<=50 epoch duration 6144",
+            ),
+        ];
+        for query in &queries {
+            ix.insert(query.id(), query);
+        }
+        assert_eq!(ix.len(), 3);
+        for query in &queries {
+            ix.remove(query.id(), query);
+        }
+        assert_eq!(ix.len(), 0);
+        assert!(ix.lookup(&queries[0]).is_empty());
+        assert!(ix.lookup(&queries[1]).is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! the greedy insertion / adaptive termination optimizer, and result mapping.
 
 mod cost;
+mod index;
 mod mapper;
 mod optimizer;
 mod synthetic;
@@ -9,7 +10,7 @@ mod synthetic;
 pub use cost::CostModel;
 pub use mapper::{map_epoch_answer, map_epoch_answer_at, map_expected_epoch, EpochOutcome};
 pub use optimizer::{
-    BaseStationOptimizer, InsertError, NetworkOp, OptimizerOptions, OptimizerStats,
+    BaseStationOptimizer, IndexStats, InsertError, NetworkOp, OptimizerOptions, OptimizerStats,
     SYNTHETIC_ID_BASE,
 };
 pub use synthetic::{Demand, SyntheticQuery};

@@ -7,8 +7,10 @@
 //! two sides are joined key-by-key:
 //!
 //! * **timing fields** (`wall_s`, `wall_clock_ms`, `events_per_sec`,
-//!   `sim_ms_per_wall_s`) get a direction-aware relative threshold — the
-//!   simulator is deterministic but the wall clock is not;
+//!   `sim_ms_per_wall_s`, and the churn bench's `admitted_per_sec`,
+//!   `admit_p50_us`/`admit_p99_us`/`admit_max_us` latency quantiles and
+//!   `speedup_vs_exhaustive`) get a direction-aware relative threshold —
+//!   the simulator is deterministic but the wall clock is not;
 //! * **everything else is exact** — counters, metrics, and schema fields of
 //!   a deterministic simulation must not drift at all;
 //! * a field present in the baseline but absent in the current run is a
@@ -346,8 +348,12 @@ enum Direction {
 fn timing_direction(key: &str) -> Option<Direction> {
     let leaf = key.rsplit('.').next().unwrap_or(key);
     match leaf {
-        "wall_s" | "wall_clock_ms" => Some(Direction::LowerBetter),
-        "events_per_sec" | "sim_ms_per_wall_s" => Some(Direction::HigherBetter),
+        "wall_s" | "wall_clock_ms" | "admit_p50_us" | "admit_p99_us" | "admit_max_us" => {
+            Some(Direction::LowerBetter)
+        }
+        "events_per_sec" | "sim_ms_per_wall_s" | "admitted_per_sec" | "speedup_vs_exhaustive" => {
+            Some(Direction::HigherBetter)
+        }
         _ => None,
     }
 }

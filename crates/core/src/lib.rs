@@ -52,8 +52,8 @@ mod runner;
 
 pub use basestation::{
     map_epoch_answer, map_epoch_answer_at, map_expected_epoch, BaseStationOptimizer, CostModel,
-    Demand, EpochOutcome, InsertError, NetworkOp, OptimizerOptions, OptimizerStats, SyntheticQuery,
-    SYNTHETIC_ID_BASE,
+    Demand, EpochOutcome, IndexStats, InsertError, NetworkOp, OptimizerOptions, OptimizerStats,
+    SyntheticQuery, SYNTHETIC_ID_BASE,
 };
 pub use campaign::{
     run_campaign, run_campaign_sequential, run_campaign_with, CampaignReport, CampaignSpec,

@@ -299,6 +299,26 @@ pub enum TraceEvent {
         /// The member user queries re-inserted under fresh ids.
         members: Vec<QueryId>,
     },
+    /// Tier 1 detached a departing user query from its synthetic query.
+    Tier1Remove {
+        /// The departing user query.
+        user: QueryId,
+        /// The synthetic query it was detached from.
+        synthetic: QueryId,
+        /// Whether the synthetic lost its last member (and is uninstalled).
+        emptied: bool,
+        /// Whether the shrunk synthetic stopped being beneficial and its
+        /// surviving members are re-inserted (see `Tier1Reindex`).
+        rebuilt: bool,
+    },
+    /// Tier 1 dissolved a no-longer-beneficial synthetic query after a
+    /// departure and re-inserted its surviving members.
+    Tier1Reindex {
+        /// The dissolved synthetic query's (old) id.
+        synthetic: QueryId,
+        /// The surviving member user queries re-inserted under fresh ids.
+        members: Vec<QueryId>,
+    },
     /// The base station mapped a synthetic answer back to a user query.
     AnswerMapped {
         /// The user query served.
@@ -344,6 +364,8 @@ impl TraceEvent {
             TraceEvent::Tier1Covered { .. } => "tier1-covered",
             TraceEvent::Tier1Install { .. } => "tier1-install",
             TraceEvent::Tier1Reoptimize { .. } => "tier1-reoptimize",
+            TraceEvent::Tier1Remove { .. } => "tier1-remove",
+            TraceEvent::Tier1Reindex { .. } => "tier1-reindex",
             TraceEvent::AnswerMapped { .. } => "answer-mapped",
         }
     }
@@ -530,9 +552,21 @@ impl TraceRecord {
                 num(w, "covered_by", covered_by.0);
             }
             TraceEvent::Tier1Install { synthetic, members }
-            | TraceEvent::Tier1Reoptimize { synthetic, members } => {
+            | TraceEvent::Tier1Reoptimize { synthetic, members }
+            | TraceEvent::Tier1Reindex { synthetic, members } => {
                 num(w, "synthetic", synthetic.0);
                 qid_array(w, "members", members);
+            }
+            TraceEvent::Tier1Remove {
+                user,
+                synthetic,
+                emptied,
+                rebuilt,
+            } => {
+                num(w, "user", user.0);
+                num(w, "synthetic", synthetic.0);
+                bool_field(w, "emptied", *emptied);
+                bool_field(w, "rebuilt", *rebuilt);
             }
             TraceEvent::AnswerMapped {
                 user,

@@ -5,17 +5,21 @@
 //! * [`random_workload`] — the adaptive random workload of Figure 4
 //!   (Poisson arrivals every ~40 s, 500 queries, concurrency controlled via
 //!   Little's law);
-//! * [`selectivity_workload`] — the predicate-selectivity sweep of Figure 5.
+//! * [`selectivity_workload`] — the predicate-selectivity sweep of Figure 5;
+//! * [`churn_workload`] — a streaming arrival/departure process over a
+//!   fixed menu of query templates, for the admission/departure paths.
 //!
 //! All generators are deterministic given their seed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod churn;
 mod random;
 mod selectivity;
 mod static_abc;
 
+pub use churn::{churn_queries, churn_workload, ChurnWorkloadParams};
 pub use random::{
     random_workload, workload_end_ms, RandomWorkloadParams, ATTR_MENU, EPOCH_MENU_MS,
 };

@@ -100,13 +100,18 @@ pub fn workload_end_ms(events: &[WorkloadEvent]) -> u64 {
     events.iter().map(|e| e.at.as_ms()).max().unwrap_or(0)
 }
 
-fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+pub(crate) fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
     let u: f64 = rng.gen_range(1e-12..1.0);
     -mean * u.ln()
 }
 
 /// One random query per the §4.3 model.
-fn random_query(rng: &mut StdRng, id: QueryId, agg_fraction: f64, nodeid_max: f64) -> Query {
+pub(crate) fn random_query(
+    rng: &mut StdRng,
+    id: QueryId,
+    agg_fraction: f64,
+    nodeid_max: f64,
+) -> Query {
     let epoch = EPOCH_MENU_MS[rng.gen_range(0..EPOCH_MENU_MS.len())];
     let selection = if rng.gen_bool(agg_fraction.clamp(0.0, 1.0)) {
         let op = if rng.gen_bool(0.5) {
