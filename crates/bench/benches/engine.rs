@@ -11,23 +11,27 @@
 //! names).
 
 use ttmqo_bench::{
-    engine_microbench, parse_prior_report, print_table, EngineBenchParams, ENGINE_REPORT_FILE,
+    engine_microbench, parse_prior_report, print_table, twotier_bench, EngineBenchParams,
+    EngineBenchResult, TwoTierBenchParams, ENGINE_REPORT_FILE,
 };
 
 fn main() {
     let smoke = std::env::var("ENGINE_BENCH_SCALE").as_deref() == Ok("smoke");
-    // Full scale: 10 simulated minutes per scenario (sub-second wall each);
-    // smoke: enough simulated time to exercise retries and collisions while
+    // Full scale: 10 simulated minutes per paper-scale scenario (the
+    // big-grid rows shrink the duration, see `default_scenarios`); smoke:
+    // enough simulated time to exercise retries and collisions while
     // staying trivial for CI.
     let duration_ms = if smoke { 30_000 } else { 600_000 };
+    // Two-tier rows replay Workload A end to end; durations are in epochs
+    // (2048 ms) so every row sees complete result rounds.
+    let twotier_duration_ms = if smoke { 16 * 2048 } else { 64 * 2048 };
     let prior = std::fs::read_to_string(ENGINE_REPORT_FILE)
         .map(|text| parse_prior_report(&text))
         .unwrap_or_default();
 
     let mut rows = Vec::new();
     let mut lines = Vec::new();
-    for params in EngineBenchParams::default_scenarios(duration_ms) {
-        let r = engine_microbench(&params);
+    let mut push_result = |r: EngineBenchResult| {
         let delta = prior
             .iter()
             .find(|(name, _)| *name == r.name)
@@ -37,13 +41,21 @@ fn main() {
             r.name.clone(),
             (r.grid_n * r.grid_n).to_string(),
             format!("{:.4}", r.wall_s),
+            format!("{:.4}", r.topo_build_s),
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
             delta,
             r.stats.frame_slab_high_water.to_string(),
             r.stats.csma_capped_deferrals.to_string(),
+            r.stats.csma_sorts_saved.to_string(),
         ]);
         lines.push(r.to_json());
+    };
+    for params in EngineBenchParams::default_scenarios(duration_ms) {
+        push_result(engine_microbench(&params));
+    }
+    for params in TwoTierBenchParams::default_scenarios(twotier_duration_ms) {
+        push_result(twotier_bench(&params));
     }
     print_table(
         "Engine microbench — transmit/deliver hot path",
@@ -51,11 +63,13 @@ fn main() {
             "scenario",
             "nodes",
             "wall s",
+            "topo s",
             "events",
             "events/s",
             "vs prior",
             "slab high-water",
             "csma caps",
+            "sorts saved",
         ],
         &rows,
     );

@@ -13,10 +13,12 @@
 //! simulated time grows).
 
 use std::time::Instant;
+use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
 use ttmqo_sim::{
     ConstantField, Ctx, Destination, EngineStats, MsgKind, NodeApp, NodeId, RadioParams, SimConfig,
     SimTime, Simulator, Topology,
 };
+use ttmqo_workloads::workload_a;
 
 /// One engine-bench scenario: a grid flooded with periodic traffic.
 #[derive(Debug, Clone)]
@@ -40,7 +42,9 @@ pub struct EngineBenchParams {
 
 impl EngineBenchParams {
     /// The default scenario set: both grids of the paper with collisions on,
-    /// plus a collision-free variant isolating the delivery path.
+    /// a collision-free variant isolating the delivery path, and the
+    /// big-grid ladder (16×16 / 32×32 / 64×64) exercising the event queue
+    /// and topology build at thousand-node scale.
     ///
     /// The offered load is kept below channel capacity (two 64-byte frames
     /// per 500 ms is ~7% airtime per node at the paper's radio speed, well
@@ -49,8 +53,13 @@ impl EngineBenchParams {
     /// and with it the in-flight frame population — linearly with simulated
     /// time, measuring queue growth rather than engine speed and defeating
     /// the slab's flat-footprint property.
+    ///
+    /// `duration_ms` is the simulated duration of the small (paper-scale)
+    /// rows; the big-grid rows shrink it so every row processes a
+    /// comparable event count (events scale linearly with nodes at fixed
+    /// local density).
     pub fn default_scenarios(duration_ms: u64) -> Vec<EngineBenchParams> {
-        let base = |name: &str, grid_n, collisions| EngineBenchParams {
+        let base = |name: &str, grid_n, collisions, duration_ms| EngineBenchParams {
             name: name.to_string(),
             grid_n,
             duration_ms,
@@ -60,9 +69,44 @@ impl EngineBenchParams {
             seed: 0xE161E,
         };
         vec![
-            base("flood-4x4-csma", 4, true),
-            base("flood-8x8-csma", 8, true),
-            base("flood-8x8-lossless", 8, false),
+            base("flood-4x4-csma", 4, true, duration_ms),
+            base("flood-8x8-csma", 8, true, duration_ms),
+            base("flood-8x8-lossless", 8, false, duration_ms),
+            base("flood-16x16-csma", 16, true, duration_ms / 5),
+            base("flood-32x32-csma", 32, true, duration_ms / 10),
+            base("flood-64x64-csma", 64, true, duration_ms / 20),
+        ]
+    }
+}
+
+/// One end-to-end two-tier row of the engine bench: the full TTMQO stack
+/// (Tier-1 optimizer, in-network tier, runner) on a big grid, so the report
+/// tracks how the engine scales under real protocol traffic — SRT floods,
+/// epoch-synchronized results, maintenance beacons — not just synthetic
+/// flood load.
+#[derive(Debug, Clone)]
+pub struct TwoTierBenchParams {
+    /// Scenario name carried into the report.
+    pub name: String,
+    /// Grid side (nodes = `grid_n²`).
+    pub grid_n: usize,
+    /// Simulated duration, ms.
+    pub duration_ms: u64,
+}
+
+impl TwoTierBenchParams {
+    /// The big-grid two-tier ladder. `duration_ms` is the 16×16 row's
+    /// simulated duration; larger grids shrink it like the flood rows do.
+    pub fn default_scenarios(duration_ms: u64) -> Vec<TwoTierBenchParams> {
+        let base = |name: &str, grid_n, duration_ms| TwoTierBenchParams {
+            name: name.to_string(),
+            grid_n,
+            duration_ms,
+        };
+        vec![
+            base("twotier-16x16", 16, duration_ms),
+            base("twotier-32x32", 32, duration_ms / 2),
+            base("twotier-64x64", 64, duration_ms / 4),
         ]
     }
 }
@@ -76,8 +120,12 @@ pub struct EngineBenchResult {
     pub grid_n: usize,
     /// Simulated duration, ms.
     pub duration_ms: u64,
-    /// Host wall-clock of the run, seconds.
+    /// Host wall-clock of the run, seconds (excludes the topology build,
+    /// which is reported separately as `topo_build_s`).
     pub wall_s: f64,
+    /// Host wall-clock of the topology build (neighbour lists + BFS levels)
+    /// for this scenario's grid, seconds.
+    pub topo_build_s: f64,
     /// Engine events processed (transmit deliveries, timers, commands).
     pub events: u64,
     /// `events / wall_s` — the headline throughput.
@@ -149,7 +197,9 @@ impl NodeApp for FloodApp {
 
 /// Runs one scenario and measures it.
 pub fn engine_microbench(params: &EngineBenchParams) -> EngineBenchResult {
+    let topo_start = Instant::now();
     let topo = Topology::grid(params.grid_n).expect("valid bench grid");
+    let topo_build_s = topo_start.elapsed().as_secs_f64();
     let radio = RadioParams {
         collisions: params.collisions,
         ..RadioParams::default()
@@ -185,11 +235,51 @@ pub fn engine_microbench(params: &EngineBenchParams) -> EngineBenchResult {
         grid_n: params.grid_n,
         duration_ms: params.duration_ms,
         wall_s,
+        topo_build_s,
         events,
         events_per_sec: events as f64 / wall_s.max(1e-9),
         tx_frames: sim.metrics().tx_count_total(),
         delivered,
         stats,
+    }
+}
+
+/// Runs one end-to-end two-tier scenario (Workload A through the full TTMQO
+/// stack) and measures it with the same report shape as the flood rows.
+/// `delivered` counts result rows delivered at the base station.
+pub fn twotier_bench(params: &TwoTierBenchParams) -> EngineBenchResult {
+    let topo_start = Instant::now();
+    let topo = Topology::grid(params.grid_n).expect("valid bench grid");
+    let topo_build_s = topo_start.elapsed().as_secs_f64();
+    let config = ExperimentConfig {
+        strategy: Strategy::TwoTier,
+        grid_n: params.grid_n,
+        duration: SimTime::from_ms(params.duration_ms),
+        topology_override: Some(topo),
+        ..ExperimentConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_experiment(&config, &workload_a());
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let delivered: u64 = report
+        .completeness
+        .per_query
+        .values()
+        .map(|qc| qc.delivered_rows)
+        .sum();
+    let events = report.engine.events_processed;
+    EngineBenchResult {
+        name: params.name.clone(),
+        grid_n: params.grid_n,
+        duration_ms: params.duration_ms,
+        wall_s,
+        topo_build_s,
+        events,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        tx_frames: report.metrics.tx_count_total(),
+        delivered,
+        stats: report.engine,
     }
 }
 
@@ -199,14 +289,16 @@ impl EngineBenchResult {
         let s = &self.stats;
         format!(
             "{{\"schema_version\":{},\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
+             \"topo_build_s\":{:.6},\
              \"events\":{},\"events_per_sec\":{:.1},\"tx_frames\":{},\"delivered\":{},\
              \"frames_total\":{},\"slab_len\":{},\"slab_high_water\":{},\
-             \"frames_in_flight\":{},\"csma_capped_deferrals\":{}}}",
+             \"frames_in_flight\":{},\"csma_capped_deferrals\":{},\"csma_sorts_saved\":{}}}",
             ttmqo_sim::SCHEMA_VERSION,
             self.name,
             self.grid_n,
             self.duration_ms,
             self.wall_s,
+            self.topo_build_s,
             self.events,
             self.events_per_sec,
             self.tx_frames,
@@ -216,6 +308,7 @@ impl EngineBenchResult {
             s.frame_slab_high_water,
             s.frames_in_flight,
             s.csma_capped_deferrals,
+            s.csma_sorts_saved,
         )
     }
 }

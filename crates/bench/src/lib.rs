@@ -23,7 +23,8 @@ pub use churn::{
     CHURN_REPORT_FILE,
 };
 pub use engine::{
-    engine_microbench, parse_prior_report, EngineBenchParams, EngineBenchResult, ENGINE_REPORT_FILE,
+    engine_microbench, parse_prior_report, twotier_bench, EngineBenchParams, EngineBenchResult,
+    TwoTierBenchParams, ENGINE_REPORT_FILE,
 };
 pub use faults::{
     fault_bench, parse_prior_faults_report, FaultBenchParams, FaultBenchResult, FAULTS_REPORT_FILE,

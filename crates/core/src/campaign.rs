@@ -333,6 +333,7 @@ impl CellRecord {
     ///             "samples":512,"horizon_ms":196608},
     ///  "engine":{"events_processed":5000,"frames_total":320,
     ///            "frame_slab_high_water":4,"csma_capped_deferrals":0,
+    ///            "csma_sorts_saved":320,
     ///            "timer_events":4000,"deliver_events":900,"command_events":8,
     ///            "maintenance_events":92,"fault_events":0}}
     /// ```
@@ -503,6 +504,12 @@ impl CellRecord {
             &mut out,
             "csma_capped_deferrals",
             &e.csma_capped_deferrals.to_string(),
+        );
+        out.push(',');
+        json_num(
+            &mut out,
+            "csma_sorts_saved",
+            &e.csma_sorts_saved.to_string(),
         );
         out.push(',');
         json_num(&mut out, "timer_events", &e.timer_events.to_string());

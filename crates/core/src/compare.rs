@@ -348,9 +348,8 @@ enum Direction {
 fn timing_direction(key: &str) -> Option<Direction> {
     let leaf = key.rsplit('.').next().unwrap_or(key);
     match leaf {
-        "wall_s" | "wall_clock_ms" | "admit_p50_us" | "admit_p99_us" | "admit_max_us" => {
-            Some(Direction::LowerBetter)
-        }
+        "wall_s" | "topo_build_s" | "wall_clock_ms" | "admit_p50_us" | "admit_p99_us"
+        | "admit_max_us" => Some(Direction::LowerBetter),
         "events_per_sec" | "sim_ms_per_wall_s" | "admitted_per_sec" | "speedup_vs_exhaustive" => {
             Some(Direction::HigherBetter)
         }

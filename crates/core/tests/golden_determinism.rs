@@ -21,6 +21,11 @@ const GOLDEN_PATH: &str = concat!(
     "/tests/golden/workload_a_metrics.golden"
 );
 
+const GOLDEN_32X32_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/workload_a_32x32_metrics.golden"
+);
+
 /// Renders a snapshot canonically, one `key=value` line per counter. Floats
 /// use Rust's shortest-roundtrip formatting, so equal strings ⇔ equal bits.
 fn render(strategy: Strategy, snap: &MetricsSnapshot) -> String {
@@ -83,6 +88,44 @@ fn workload_a_metrics_match_golden_snapshot() {
         "MetricsSnapshot diverged from the golden Workload-A cell: the \
          engine's simulated behaviour changed (set UPDATE_GOLDEN=1 only if \
          the change is intentional)"
+    );
+}
+
+fn golden_big_cell(strategy: Strategy) -> MetricsSnapshot {
+    // The big-grid cell: Workload A on a 32×32 grid (1024 nodes), long
+    // enough for SRT dissemination, several epoch rounds and retransmission
+    // traffic. Generated from the engine as of PR 6 (global `BinaryHeap`
+    // event queue, all-pairs O(n²) topology build), so a passing run proves
+    // the calendar queue and the spatial grid-bucket index reproduce the old
+    // engine's behaviour bit for bit at thousand-node scale.
+    let config = ExperimentConfig {
+        strategy,
+        grid_n: 32,
+        duration: SimTime::from_ms(8 * 2048),
+        ..ExperimentConfig::default()
+    };
+    run_experiment(&config, &workload_a()).metrics.snapshot()
+}
+
+#[test]
+fn workload_a_32x32_metrics_match_golden_snapshot() {
+    let mut rendered = String::new();
+    for strategy in [Strategy::Baseline, Strategy::TwoTier] {
+        rendered.push_str(&render(strategy, &golden_big_cell(strategy)));
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_32X32_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_32X32_PATH, &rendered).unwrap();
+        eprintln!("regenerated {GOLDEN_32X32_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_32X32_PATH)
+        .expect("golden snapshot checked in at tests/golden/workload_a_32x32_metrics.golden");
+    assert_eq!(
+        rendered, golden,
+        "MetricsSnapshot diverged from the golden 32×32 Workload-A cell: \
+         the engine's simulated behaviour changed at big-grid scale (set \
+         UPDATE_GOLDEN=1 only if the change is intentional)"
     );
 }
 

@@ -68,10 +68,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod calendar;
 mod energy;
 mod engine;
 mod faults;
 mod field;
+mod incoming;
 mod metrics;
 mod radio;
 mod time;
@@ -79,6 +81,7 @@ mod timeseries;
 mod topology;
 mod trace;
 
+pub use calendar::CalendarQueue;
 pub use energy::EnergyProfile;
 pub use engine::{Ctx, EngineStats, NodeApp, OutputRecord, SimConfig, Simulator};
 pub use faults::{

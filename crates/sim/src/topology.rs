@@ -6,6 +6,7 @@
 //! reproduces exactly that; arbitrary placements are supported through
 //! [`Topology::from_positions`].
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a node in the simulated network.
@@ -51,7 +52,9 @@ impl Position {
 pub enum TopologyError {
     /// No nodes were given.
     Empty,
-    /// More nodes than `NodeId` can address.
+    /// More nodes than `NodeId` can address: the id space is `u16`, so a
+    /// topology holds at most 65,536 nodes (node 65,537 and beyond have no
+    /// id). A 256×256 grid is exactly the cap.
     TooManyNodes(usize),
     /// The radio range is not positive and finite.
     InvalidRange,
@@ -77,6 +80,14 @@ impl std::error::Error for TopologyError {}
 /// An immutable network layout: positions, radio range and derived
 /// connectivity (neighbour lists and hop levels from the base station).
 ///
+/// Holds at most 65,536 nodes (the `u16` id space; a 256×256 grid fits
+/// exactly). Construction is near-linear in the node count for
+/// bounded-density deployments: a spatial grid-bucket index
+/// (`SpatialIndex`, cells of side `radio_range`) replaces the all-pairs
+/// O(n²) scan, so only the 9 buckets a node's radio disc can overlap are
+/// examined per node. The index is retained for ad-hoc disc queries
+/// ([`Topology::nodes_within`]).
+///
 /// # Examples
 ///
 /// ```
@@ -95,6 +106,60 @@ pub struct Topology {
     radio_range: f64,
     neighbors: Vec<Vec<NodeId>>,
     levels: Vec<u32>,
+    index: SpatialIndex,
+}
+
+/// Spatial grid-bucket index over node positions: square cells of side
+/// `cell_ft` (the radio range), so any disc of that radius is covered by the
+/// centre's cell plus its 8 neighbours. Build is O(n); a disc query touches
+/// only the buckets the disc can overlap. Bucket contents are in ascending
+/// id order (nodes are inserted in id order), which is what lets
+/// [`Topology::from_positions`] reproduce the all-pairs scan's neighbour
+/// lists byte for byte.
+#[derive(Debug, Clone, Default)]
+struct SpatialIndex {
+    cell_ft: f64,
+    cells: HashMap<(i64, i64), Vec<NodeId>>,
+}
+
+impl SpatialIndex {
+    fn build(positions: &[Position], cell_ft: f64) -> Self {
+        let mut cells: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            cells
+                .entry(Self::cell_at(*p, cell_ft))
+                .or_default()
+                .push(NodeId(i as u16));
+        }
+        SpatialIndex { cell_ft, cells }
+    }
+
+    fn cell_at(p: Position, cell_ft: f64) -> (i64, i64) {
+        (
+            (p.x / cell_ft).floor() as i64,
+            (p.y / cell_ft).floor() as i64,
+        )
+    }
+
+    /// Calls `f` with every node in the buckets a disc of radius `radius`
+    /// centred at `center` can overlap. Candidates only — callers filter by
+    /// actual distance. Visit order is deterministic (row-major over the
+    /// bucket window, ascending ids within a bucket) but not globally
+    /// sorted.
+    fn for_each_candidate(&self, center: Position, radius: f64, mut f: impl FnMut(NodeId)) {
+        let (cx, cy) = Self::cell_at(center, self.cell_ft);
+        // A disc of radius r reaches ceil(r / cell) cells in each direction.
+        let reach = (radius / self.cell_ft).ceil().max(1.0) as i64;
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &id in bucket {
+                        f(id);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The paper's grid spacing, feet.
@@ -194,14 +259,23 @@ impl Topology {
             return Err(TopologyError::InvalidRange);
         }
         let n = positions.len();
-        let mut neighbors = vec![Vec::new(); n];
+        // Bucket the nodes once, then find each node's neighbours by scanning
+        // only the buckets its radio disc can overlap — near-linear overall
+        // for bounded-density deployments, versus the all-pairs O(n²) scan
+        // this replaces. The old scan produced each neighbour list in
+        // ascending id order (smaller ids were pushed during earlier outer
+        // iterations, larger ids during the node's own), so sorting the
+        // collected candidates ascending reproduces it byte for byte.
+        let index = SpatialIndex::build(&positions, radio_range);
+        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for i in 0..n {
-            for j in (i + 1)..n {
-                if positions[i].distance(positions[j]) <= radio_range {
-                    neighbors[i].push(NodeId(j as u16));
-                    neighbors[j].push(NodeId(i as u16));
+            let list = &mut neighbors[i];
+            index.for_each_candidate(positions[i], radio_range, |j| {
+                if j.index() != i && positions[i].distance(positions[j.index()]) <= radio_range {
+                    list.push(j);
                 }
-            }
+            });
+            list.sort_unstable();
         }
         // BFS hop levels from the base station.
         let mut levels = vec![u32::MAX; n];
@@ -223,6 +297,7 @@ impl Topology {
             radio_range,
             neighbors,
             levels,
+            index,
         })
     }
 
@@ -253,6 +328,43 @@ impl Topology {
     /// Nodes within radio range of `node` (excluding itself).
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
         &self.neighbors[node.index()]
+    }
+
+    /// All nodes within `radius` feet of `center` (inclusive), ascending by
+    /// id — a bucket query over the spatial index, touching only the cells
+    /// the disc can overlap rather than every node.
+    ///
+    /// This is the general form of the precomputed [`Topology::neighbors`]
+    /// lists (which fix the centre at a node and the radius at the radio
+    /// range): audibility-style questions — "who can hear a transmitter
+    /// standing here?", region-scoped CSMA or fault injection — ask it for
+    /// arbitrary points and radii. A node at exactly `center` is included;
+    /// a non-finite or negative radius returns no nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ttmqo_sim::{NodeId, Topology};
+    ///
+    /// let topo = Topology::grid(4)?;
+    /// // Standing on the base station, a 25 ft disc hears nodes 0, 1 and 4
+    /// // (20 ft away) but not the diagonal node 5 (28.3 ft).
+    /// let heard = topo.nodes_within(topo.position(NodeId(0)), 25.0);
+    /// assert_eq!(heard, vec![NodeId(0), NodeId(1), NodeId(4)]);
+    /// # Ok::<(), ttmqo_sim::TopologyError>(())
+    /// ```
+    pub fn nodes_within(&self, center: Position, radius: f64) -> Vec<NodeId> {
+        if !(radius.is_finite() && radius >= 0.0) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.index.for_each_candidate(center, radius, |id| {
+            if self.positions[id.index()].distance(center) <= radius {
+                out.push(id);
+            }
+        });
+        out.sort_unstable();
+        out
     }
 
     /// Whether two distinct nodes are within radio range of each other.
@@ -414,6 +526,73 @@ mod tests {
                 assert_eq!(t.level(up) + 1, t.level(node));
             }
         }
+    }
+
+    #[test]
+    fn node_cap_boundary_is_exact() {
+        // 65,536 nodes (the full u16 id space) is legal; 65,537 is not —
+        // node 65,537 would have no id. The reject happens before any O(n)
+        // connectivity work, so the oversized case is cheap.
+        let cap = u16::MAX as usize + 1;
+        let over: Vec<Position> = (0..cap + 1)
+            .map(|i| Position {
+                x: i as f64,
+                y: 0.0,
+            })
+            .collect();
+        assert_eq!(
+            Topology::from_positions(over, 50.0).unwrap_err(),
+            TopologyError::TooManyNodes(cap + 1)
+        );
+        // At exactly the cap: a 256×256 grid (the largest square deployment
+        // the id space admits) builds and addresses its last node.
+        let t = Topology::grid(256).unwrap();
+        assert_eq!(t.node_count(), cap);
+        assert_eq!(t.position(NodeId(u16::MAX)).x, 255.0 * GRID_SPACING_FT);
+        assert!(t.level(NodeId(u16::MAX)) > 0);
+    }
+
+    #[test]
+    fn spatial_index_matches_all_pairs_scan() {
+        // The bucket-index build must reproduce the old O(n²) scan exactly:
+        // same neighbour sets, same (ascending) order — on an irregular
+        // deployment where nodes straddle bucket boundaries.
+        let t = Topology::random_uniform(200, 300.0, 60.0, 0xBEEF).unwrap();
+        for a in t.nodes() {
+            let brute: Vec<NodeId> = t
+                .nodes()
+                .filter(|&b| b != a && t.position(a).distance(t.position(b)) <= t.radio_range())
+                .collect();
+            assert_eq!(t.neighbors(a), &brute[..], "neighbour list of {a}");
+        }
+    }
+
+    #[test]
+    fn nodes_within_matches_brute_force_disc() {
+        let t = Topology::random_uniform(150, 250.0, 55.0, 0xF00D).unwrap();
+        // Arbitrary centres (on and off nodes) and radii, including a radius
+        // larger than a bucket cell (forces the multi-cell reach path).
+        let centers = [
+            t.position(NodeId(0)),
+            t.position(NodeId(77)),
+            Position { x: 123.4, y: 210.9 },
+        ];
+        for center in centers {
+            for radius in [0.0, 10.0, 55.0, 140.0] {
+                let brute: Vec<NodeId> = t
+                    .nodes()
+                    .filter(|&b| t.position(b).distance(center) <= radius)
+                    .collect();
+                assert_eq!(t.nodes_within(center, radius), brute);
+            }
+        }
+        // A node standing at the centre is included (distance 0).
+        assert!(t
+            .nodes_within(t.position(NodeId(3)), 0.0)
+            .contains(&NodeId(3)));
+        // Degenerate radii find nothing rather than panicking.
+        assert!(t.nodes_within(centers[2], f64::NAN).is_empty());
+        assert!(t.nodes_within(centers[2], -1.0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Property tests pinning the calendar queue's determinism contract: on any
+//! stream of pushes and pops — same-time ties, clustered or widely scattered
+//! times, pops interleaved with pushes — [`CalendarQueue`] must yield
+//! entries in *exactly* the order `BinaryHeap<Reverse<_>>` does. The engine
+//! swapped the latter for the former, and its golden snapshots only stay
+//! byte-identical if this equivalence is unconditional.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use ttmqo_sim::CalendarQueue;
+
+/// One scripted operation: push an event at a (bounded) time, or pop.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { time: u64 },
+    Pop,
+}
+
+fn arb_ops(max_time: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        // Pushes outnumber pops 3:1 so queues actually build depth.
+        (0..=max_time, 0usize..4).prop_map(
+            |(time, sel)| {
+                if sel == 0 {
+                    Op::Pop
+                } else {
+                    Op::Push { time }
+                }
+            },
+        ),
+        0..len,
+    )
+}
+
+/// Replays `ops` against both queues simultaneously; every pop must agree on
+/// `(time, seq, payload)` — including the `None` at exhaustion.
+fn check_equivalence(ops: &[Op]) {
+    let mut calendar = CalendarQueue::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Push { time } => {
+                seq += 1;
+                // Payload = seq doubled, so a pop mismatch distinguishes
+                // "wrong key" from "right key, wrong payload".
+                calendar.push(time, seq, seq * 2);
+                heap.push(Reverse((time, seq, seq * 2)));
+            }
+            Op::Pop => {
+                let expected = heap.pop().map(|Reverse(e)| e);
+                let got = calendar.pop();
+                assert_eq!(got, expected, "pop diverged at step {step}");
+            }
+        }
+        assert_eq!(calendar.len(), heap.len(), "length diverged at step {step}");
+    }
+    // Drain what's left: the tail must agree element for element too.
+    while let Some(Reverse(expected)) = heap.pop() {
+        assert_eq!(calendar.pop(), Some(expected), "drain diverged");
+    }
+    assert_eq!(calendar.pop(), None, "calendar held extra entries");
+}
+
+proptest! {
+    /// Scattered times (up to ~100 simulated seconds in µs): events land in
+    /// many different buckets and trigger resizes.
+    #[test]
+    fn pops_match_binary_heap_scattered(ops in arb_ops(100_000_000, 400)) {
+        check_equivalence(&ops);
+    }
+
+    /// Clustered times (0..64): heavy same-time tie traffic — many events
+    /// share one bucket and differ only by seq.
+    #[test]
+    fn pops_match_binary_heap_clustered(ops in arb_ops(64, 400)) {
+        check_equivalence(&ops);
+    }
+
+    /// Bucket-boundary times: multiples of large powers of two, the worst
+    /// case for slot arithmetic off-by-ones.
+    #[test]
+    fn pops_match_binary_heap_on_slot_boundaries(
+        raw in prop::collection::vec((0u64..200, 0usize..4), 0..300)
+    ) {
+        let ops: Vec<Op> = raw
+            .into_iter()
+            .map(|(k, pop)| if pop == 0 {
+                Op::Pop
+            } else {
+                Op::Push { time: k << 14 }
+            })
+            .collect();
+        check_equivalence(&ops);
+    }
+}
+
+/// A deterministic engine-shaped workload (no proptest shrink budget): a
+/// sawtooth of advancing time with bursts of ties and occasional far-future
+/// maintenance events, popped down to a rolling horizon — the access pattern
+/// `Simulator::run_until` actually generates.
+#[test]
+fn engine_shaped_stream_matches_binary_heap() {
+    let mut ops = Vec::new();
+    let mut t = 0u64;
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        // splitmix-style scramble, fixed seed: reproducible without RNG deps.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..5_000 {
+        match next() % 10 {
+            0..=4 => {
+                // Near-future event, frequently tying with neighbours.
+                ops.push(Op::Push {
+                    time: t + next() % 3_000,
+                });
+            }
+            5 | 6 => {
+                // Far-future maintenance beacon.
+                ops.push(Op::Push {
+                    time: t + 30_000_000 + next() % 1_000_000,
+                });
+            }
+            _ => {
+                ops.push(Op::Pop);
+                t += next() % 2_000; // the horizon advances
+            }
+        }
+    }
+    check_equivalence(&ops);
+}
