@@ -1,0 +1,76 @@
+//! Checkpoint bench: snapshot size, save/restore latency and warm-start
+//! speedup, with regression tracking against the previous run.
+//!
+//! Writes `BENCH_checkpoint.json` (JSON lines, one record per scenario).
+//! If a previous report exists the save-latency delta per record is
+//! printed, so serialization regressions show up as a column rather than a
+//! silent drift. The `resume_matches` / `warm_matches` fields are hard
+//! bit-identity checks — the bench aborts if either is false.
+//!
+//! `CHECKPOINT_BENCH_SCALE=smoke` shrinks the grids for CI smoke runs.
+
+use ttmqo_bench::{
+    checkpoint_bench, parse_prior_checkpoint_report, print_table, CheckpointBenchParams,
+    CHECKPOINT_REPORT_FILE,
+};
+
+fn main() {
+    let smoke = std::env::var("CHECKPOINT_BENCH_SCALE").as_deref() == Ok("smoke");
+    let prior = std::fs::read_to_string(CHECKPOINT_REPORT_FILE)
+        .map(|text| parse_prior_checkpoint_report(&text))
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut lines = Vec::new();
+    for params in CheckpointBenchParams::default_scenarios(smoke) {
+        let r = checkpoint_bench(&params);
+        assert!(
+            r.resume_matches,
+            "{}: resumed run diverged from the uninterrupted run",
+            r.name
+        );
+        assert!(
+            r.warm_matches,
+            "{}: warm-started sweep diverged from the cold sweep",
+            r.name
+        );
+        let delta = prior
+            .iter()
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, prev)| format!("{:+.1}%", 100.0 * (r.save_s / prev.max(1e-9) - 1.0)))
+            .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.1} KiB", r.snapshot_bytes as f64 / 1024.0),
+            format!("{:.2}", r.save_s * 1e3),
+            delta,
+            format!("{:.2}", r.restore_s * 1e3),
+            format!("{:.2}x", r.warmstart_speedup),
+            if r.resume_matches && r.warm_matches {
+                "bit-identical".to_string()
+            } else {
+                "DIVERGED".to_string()
+            },
+        ]);
+        lines.push(r.to_json());
+    }
+    print_table(
+        "Checkpoint bench — snapshot size, save/restore latency, warm start",
+        &[
+            "scenario",
+            "snapshot",
+            "save ms",
+            "vs prior",
+            "restore ms",
+            "warm speedup",
+            "identity",
+        ],
+        &rows,
+    );
+
+    let report = lines.join("\n") + "\n";
+    match std::fs::write(CHECKPOINT_REPORT_FILE, report) {
+        Ok(()) => eprintln!("wrote {} records to {CHECKPOINT_REPORT_FILE}", lines.len()),
+        Err(e) => eprintln!("could not write {CHECKPOINT_REPORT_FILE}: {e}"),
+    }
+}

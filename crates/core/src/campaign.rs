@@ -52,14 +52,15 @@
 //! ```
 
 use crate::basestation::OptimizerStats;
-use crate::runner::{run_experiment, ExperimentConfig, Strategy, WorkloadEvent};
+use crate::runner::{run_experiment, ExperimentConfig, RunSession, Strategy, WorkloadEvent};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use ttmqo_sim::{
-    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, TraceHandle,
-    SCHEMA_VERSION,
+    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, SimTime,
+    TraceHandle, SCHEMA_VERSION,
 };
 
 /// A named workload inside a campaign.
@@ -114,6 +115,21 @@ pub struct CampaignSpec {
     /// named in the record's `timeseries_file`. `None` (the default) leaves
     /// the base config's setting untouched.
     pub timeseries_dir: Option<PathBuf>,
+    /// Opt-in warm-started execution: cells that share every coordinate
+    /// except the workload (same strategy, grid size, field seed and fault
+    /// plan) also share their common prefix — topology build, SRT
+    /// dissemination, startup radio traffic, *and* every workload event the
+    /// spec's workloads agree on before they first diverge (workloads built
+    /// as "common base queries plus per-cell extras" share the whole base).
+    /// With warm start on, that prefix is simulated once per group,
+    /// checkpointed just before the earliest diverging workload event
+    /// ([`CampaignSpec::warm_prefix_time`]), and every cell of the group
+    /// resumes from the checkpoint instead of re-simulating it. Restored
+    /// runs are bit-identical to cold runs, so every record field except
+    /// `wall_clock_ms` is unchanged. Ignored (cells run cold) when
+    /// [`CampaignSpec::trace_dir`] is set, because a resumed cell's trace
+    /// file would be missing the shared prefix's events.
+    pub warm_start: bool,
 }
 
 impl CampaignSpec {
@@ -132,6 +148,7 @@ impl CampaignSpec {
             workloads: Vec::new(),
             trace_dir: None,
             timeseries_dir: None,
+            warm_start: false,
             base,
         }
     }
@@ -178,6 +195,61 @@ impl CampaignSpec {
     pub fn timeseries_output(mut self, dir: impl Into<PathBuf>) -> Self {
         self.timeseries_dir = Some(dir.into());
         self
+    }
+
+    /// Enables warm-started execution (see [`CampaignSpec::warm_start`]).
+    pub fn warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
+    }
+
+    /// The instant warm-started groups checkpoint their shared prefix at:
+    /// one millisecond before the earliest workload event past the longest
+    /// common leading event sequence of the spec's workloads (clamped to
+    /// the run duration), i.e. the latest time the network state is still
+    /// independent of which workload a cell will replay. Identical
+    /// workloads (or a single workload) share everything: the prefix runs
+    /// to the full duration.
+    pub fn warm_prefix_time(&self) -> SimTime {
+        self.warm_prefix().1
+    }
+
+    /// The shared prefix of a warm-started group: the longest common
+    /// leading event sequence across the spec's workloads (each normalized
+    /// the way the runner replays them — sorted by time, truncated to the
+    /// duration) and the checkpoint instant. Every group shares one cell
+    /// per workload, so the prefix is a property of the spec, not of the
+    /// group.
+    fn warm_prefix(&self) -> (Vec<WorkloadEvent>, SimTime) {
+        let duration = self.base.duration;
+        let normalized: Vec<Vec<WorkloadEvent>> = self
+            .workloads
+            .iter()
+            .map(|w| RunSession::prepare_events(&self.base, &w.events))
+            .collect();
+        let Some(first) = normalized.first() else {
+            return (Vec::new(), duration);
+        };
+        // Longest leading sequence every workload agrees on.
+        let mut k = first.len();
+        for events in &normalized[1..] {
+            k = k.min(events.len());
+            while k > 0 && events[..k] != first[..k] {
+                k -= 1;
+            }
+        }
+        // Checkpoint strictly before the earliest diverging event: up to
+        // that instant every cell of a group replays exactly the common
+        // prefix, so the checkpoint is indistinguishable from one taken
+        // mid-way through the cell's own straight run.
+        let t0 = normalized
+            .iter()
+            .filter_map(|events| events.get(k).map(|e| e.at))
+            .min()
+            .map(|t| SimTime::from_ms(t.as_ms().saturating_sub(1)))
+            .unwrap_or(duration)
+            .min(duration);
+        (first[..k].to_vec(), t0)
     }
 
     /// Appends a named workload.
@@ -596,15 +668,31 @@ fn slug(name: &str) -> String {
         .collect()
 }
 
-/// Runs one cell and wraps its results into a record.
-fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
-    let workload = &spec.workloads[cell.workload];
-    let fault = &spec.faults[cell.fault];
+/// Warm-start sharing key: cells agreeing on `(strategy, grid_n,
+/// field_seed, fault index)` replay the same prefix and share one
+/// checkpoint; only the workload axis varies within a group.
+type GroupKey = (Strategy, usize, u64, usize);
+
+/// The full configuration a cell runs under: coordinates applied over the
+/// base, the fault axis's plan injected, timeseries defaulted on when the
+/// campaign writes timeseries files. Shared by cold runs and the warm-start
+/// prefix, which must agree on everything except the trace sink.
+fn cell_config(spec: &CampaignSpec, cell: &CellSpec) -> ExperimentConfig {
     let mut config = cell.config(&spec.base);
-    config.faults = fault.plan.clone();
+    config.faults = spec.faults[cell.fault].plan.clone();
     if spec.timeseries_dir.is_some() && config.timeseries.is_none() {
         config.timeseries = Some(Default::default());
     }
+    config
+}
+
+/// Runs one cell and wraps its results into a record. With `prefix` set,
+/// the cell resumes from the group's shared checkpoint instead of
+/// simulating the pre-workload prefix itself.
+fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> CellRecord {
+    let workload = &spec.workloads[cell.workload];
+    let fault = &spec.faults[cell.fault];
+    let mut config = cell_config(spec, cell);
     let trace_file = spec.trace_dir.as_ref().and_then(|dir| {
         let name = format!(
             "trace-{}-{}-{}-{}-{}.jsonl",
@@ -620,7 +708,12 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec) -> CellRecord {
         Some(name)
     });
     let start = Instant::now();
-    let report = run_experiment(&config, &workload.events);
+    let report = match prefix {
+        Some(bytes) => RunSession::restore(bytes, &config, &workload.events)
+            .expect("the group prefix checkpoint was produced under this configuration")
+            .finish(),
+        None => run_experiment(&config, &workload.events),
+    };
     let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
     config.trace.flush();
     let timeseries_file = spec
@@ -686,8 +779,34 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
     let cells = spec.cells();
     let started = Instant::now();
     let threads = threads.clamp(1, cells.len().max(1));
+    // Warm start: one checkpointed prefix per (strategy, grid, seed, fault)
+    // group, shared by that group's cells across the workload axis. Traced
+    // campaigns run cold — a resumed cell's trace would lack the prefix.
+    let prefixes: Option<BTreeMap<GroupKey, Vec<u8>>> =
+        (spec.warm_start && spec.trace_dir.is_none()).then(|| {
+            let (prefix_events, t0) = spec.warm_prefix();
+            let mut map = BTreeMap::new();
+            for cell in &cells {
+                map.entry((cell.strategy, cell.grid_n, cell.field_seed, cell.fault))
+                    .or_insert_with(|| {
+                        let config = cell_config(spec, cell);
+                        let mut session = RunSession::new(&config, &prefix_events);
+                        session.run_to(t0);
+                        session.checkpoint()
+                    });
+            }
+            map
+        });
+    let prefix_of = |cell: &CellSpec| {
+        prefixes
+            .as_ref()
+            .map(|map| map[&(cell.strategy, cell.grid_n, cell.field_seed, cell.fault)].as_slice())
+    };
     let records: Vec<CellRecord> = if threads == 1 {
-        cells.iter().map(|cell| run_cell(spec, cell)).collect()
+        cells
+            .iter()
+            .map(|cell| run_cell(spec, cell, prefix_of(cell)))
+            .collect()
     } else {
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<CellRecord>>> = Mutex::new(vec![None; cells.len()]);
@@ -696,7 +815,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
                 s.spawn(|_| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let record = run_cell(spec, cell);
+                    let record = run_cell(spec, cell, prefix_of(cell));
                     slots.lock().expect("no worker panicked holding the lock")[i] = Some(record);
                 });
             }

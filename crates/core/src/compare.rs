@@ -7,10 +7,12 @@
 //! two sides are joined key-by-key:
 //!
 //! * **timing fields** (`wall_s`, `wall_clock_ms`, `events_per_sec`,
-//!   `sim_ms_per_wall_s`, and the churn bench's `admitted_per_sec`,
+//!   `sim_ms_per_wall_s`, the churn bench's `admitted_per_sec`,
 //!   `admit_p50_us`/`admit_p99_us`/`admit_max_us` latency quantiles and
-//!   `speedup_vs_exhaustive`) get a direction-aware relative threshold —
-//!   the simulator is deterministic but the wall clock is not;
+//!   `speedup_vs_exhaustive`, and the checkpoint bench's
+//!   `snapshot_bytes`/`save_s`/`restore_s` and `warmstart_speedup`) get a
+//!   direction-aware relative threshold — the simulator is deterministic
+//!   but the wall clock is not;
 //! * **everything else is exact** — counters, metrics, and schema fields of
 //!   a deterministic simulation must not drift at all;
 //! * a field present in the baseline but absent in the current run is a
@@ -349,10 +351,13 @@ fn timing_direction(key: &str) -> Option<Direction> {
     let leaf = key.rsplit('.').next().unwrap_or(key);
     match leaf {
         "wall_s" | "topo_build_s" | "wall_clock_ms" | "admit_p50_us" | "admit_p99_us"
-        | "admit_max_us" => Some(Direction::LowerBetter),
-        "events_per_sec" | "sim_ms_per_wall_s" | "admitted_per_sec" | "speedup_vs_exhaustive" => {
-            Some(Direction::HigherBetter)
-        }
+        | "admit_max_us" | "snapshot_bytes" | "save_s" | "restore_s" | "cold_wall_s"
+        | "warm_wall_s" => Some(Direction::LowerBetter),
+        "events_per_sec"
+        | "sim_ms_per_wall_s"
+        | "admitted_per_sec"
+        | "speedup_vs_exhaustive"
+        | "warmstart_speedup" => Some(Direction::HigherBetter),
         _ => None,
     }
 }

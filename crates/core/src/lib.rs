@@ -61,6 +61,6 @@ pub use campaign::{
 };
 pub use innetwork::{DagState, PartialEntry, RowEntry, TtmqoApp, TtmqoConfig, TtmqoPayload};
 pub use runner::{
-    run_experiment, ExperimentConfig, FieldKind, QueryWindowSeries, RunReport, RunTimeseries,
-    Strategy, WorkloadAction, WorkloadEvent,
+    run_experiment, ExperimentConfig, FieldKind, QueryWindowSeries, RunReport, RunSession,
+    RunTimeseries, Strategy, WorkloadAction, WorkloadEvent,
 };

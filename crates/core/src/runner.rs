@@ -20,9 +20,11 @@ use crate::innetwork::{TtmqoApp, TtmqoConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
-    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, Metrics, NodeId, NodeTimeseries,
-    QueryCompleteness, RadioParams, SensorField, SimConfig, SimTime, Simulator, TimeseriesConfig,
-    Topology, TraceEvent, TraceHandle, UniformField, WindowRecorder,
+    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, FaultSchedule, Metrics, NodeId,
+    NodeTimeseries, QueryCompleteness, RadioParams, Restorable, SensorField, SimConfig, SimTime,
+    Simulator, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotDocument, SnapshotError,
+    TimeseriesConfig, Topology, TraceEvent, TraceHandle, UniformField, WindowRecorder,
+    SECTION_RUNNER, SECTION_SIMULATOR,
 };
 use ttmqo_stats::{EmpiricalDistribution, Histogram, LevelStats, SelectivityEstimator};
 use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
@@ -73,7 +75,7 @@ impl std::fmt::Display for Strategy {
 }
 
 /// One user-level workload action.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadAction {
     /// A user poses a query.
     Pose(Query),
@@ -82,7 +84,7 @@ pub enum WorkloadAction {
 }
 
 /// A timestamped workload action.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadEvent {
     /// When the action happens.
     pub at: SimTime,
@@ -254,6 +256,7 @@ pub struct QueryWindowSeries {
 
 /// Base-station-side windowed answer accounting, aligned with the engine's
 /// [`WindowRecorder`] grid. Built only when timeseries collection is on.
+#[derive(Debug)]
 struct TimeseriesCollector {
     window_ms: u64,
     per_query: BTreeMap<QueryId, QueryWindowSeries>,
@@ -483,66 +486,25 @@ fn build_optimizer(config: &ExperimentConfig, topo: &Topology) -> BaseStationOpt
 
 /// Runs one experiment: the workload under the configured strategy.
 ///
+/// Equivalent to `RunSession::new(config, workload).finish()`; the session
+/// API additionally allows checkpointing and restoring mid-run.
+///
 /// # Panics
 ///
 /// Panics if the grid cannot be constructed (e.g. `grid_n == 0`).
 pub fn run_experiment(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> RunReport {
-    let topo = config
-        .topology_override
-        .clone()
-        .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
-    let mut events: Vec<WorkloadEvent> = workload.to_vec();
-    events.sort_by_key(|e| e.at);
-    // The experiment ends at `duration`: an event scheduled at or past it
-    // can never affect anything observable, and replaying it would push the
-    // time-weighted accounting past the measured window (and underflow the
-    // `duration - last_event` interval).
-    events.retain(|e| e.at < config.duration);
+    RunSession::new(config, workload).finish()
+}
 
-    if config.strategy.uses_innetwork_tier() {
-        let field = build_field(config, &topo);
-        let mut innetwork = config.innetwork.clone();
-        // Faulty runs arm the in-network parent failure detector unless the
-        // caller chose a threshold; fault-free runs keep it off, so their
-        // routing (and the golden snapshot) is untouched.
-        if !config.faults.is_empty() && innetwork.dead_parent_after == 0 {
-            innetwork.dead_parent_after = 3;
-        }
-        let mut sim = Simulator::new(
-            topo.clone(),
-            config.radio.clone(),
-            config.sim.clone(),
-            field,
-            move |_, _| TtmqoApp::new(innetwork.clone()),
-        );
-        sim.set_trace(config.trace.clone());
-        sim.set_timeseries(
-            config
-                .timeseries
-                .as_ref()
-                .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
-        );
-        sim.install_fault_plan(&config.faults);
-        drive(config, &topo, events, sim)
-    } else {
-        let field = build_field(config, &topo);
-        let mut sim = Simulator::new(
-            topo.clone(),
-            config.radio.clone(),
-            config.sim.clone(),
-            field,
-            |_, _| TinyDbApp::new(TinyDbConfig::default()),
-        );
-        sim.set_trace(config.trace.clone());
-        sim.set_timeseries(
-            config
-                .timeseries
-                .as_ref()
-                .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
-        );
-        sim.install_fault_plan(&config.faults);
-        drive(config, &topo, events, sim)
+/// The in-network parent failure detector auto-arms for faulty runs unless
+/// the caller chose a threshold; fault-free runs keep it off, so their
+/// routing (and the golden snapshot) is untouched.
+fn effective_innetwork(config: &ExperimentConfig) -> TtmqoConfig {
+    let mut innetwork = config.innetwork.clone();
+    if !config.faults.is_empty() && innetwork.dead_parent_after == 0 {
+        innetwork.dead_parent_after = 3;
     }
+    innetwork
 }
 
 /// Snapshot of user → (synthetic id, synthetic query, user query) taken after
@@ -575,6 +537,7 @@ const REPAIR_GRACE_MS: u64 = 8 * BASE_EPOCH_MS;
 /// re-optimization of the owning synthetic query when a query goes silent
 /// for [`REPAIR_AFTER_MISSING`] consecutive epochs. Armed only for faulty
 /// runs under a rewriting strategy.
+#[derive(Debug)]
 struct RepairMonitor {
     /// Collection-window length: the epoch firing at `e` is audited once the
     /// clock passes `e + window_ms` (its answer should have closed by then).
@@ -781,169 +744,390 @@ fn ingest_outputs(
     }
 }
 
-fn drive<A>(
-    config: &ExperimentConfig,
-    topo: &Topology,
-    events: Vec<WorkloadEvent>,
-    mut sim: Simulator<A>,
-) -> RunReport
-where
-    A: ttmqo_sim::NodeApp<Command = Command, Output = Output>,
-{
-    let rewriting = config.strategy.uses_basestation_tier();
-    let mut optimizer = rewriting.then(|| {
-        let mut opt = build_optimizer(config, topo);
-        opt.set_trace(config.trace.clone());
-        opt
-    });
-
-    // Fault bookkeeping: the same deterministic schedule the engine executes,
-    // used for completeness expectations, plus the repair monitor (armed only
-    // for faulty runs with the rewriting tier — fault-free runs take exactly
-    // the pre-fault code path).
-    let schedule = (!config.faults.is_empty()).then(|| config.faults.materialize(topo));
-    let window_ms =
-        (topo.max_level() as u64 + 1) * config.innetwork.slot_ms + config.innetwork.jitter_ms + 32;
-    let mut monitor = (rewriting && schedule.is_some()).then(|| RepairMonitor::new(window_ms));
-
-    // Base-station-side windowed answer accounting, on the same window grid
-    // as the engine-side recorder installed by `run_experiment`.
-    let mut ts_collector = config
-        .timeseries
-        .as_ref()
-        .map(|c| TimeseriesCollector::new(c.window_ms));
-
-    // Identity bookkeeping for non-rewriting strategies.
-    let mut live_users: BTreeMap<QueryId, Query> = BTreeMap::new();
-    // When each user query was terminated, ms. TinyDB labels an answer with
-    // its epoch's *start* time but emits it at the epoch's close, so an epoch
-    // can straddle a Terminate: the mapping snapshot at the epoch start still
-    // contains the user, yet by the time the answer exists the user is gone.
-    // Attribution must also check the answer's *arrival* time against this.
-    let mut terminated_at: BTreeMap<QueryId, u64> = BTreeMap::new();
-    // Every query ever posed, with its pose time (completeness accounting).
-    let mut posed_at: BTreeMap<QueryId, u64> = BTreeMap::new();
-    let mut posed_query: BTreeMap<QueryId, Query> = BTreeMap::new();
-
-    let mut snapshots: Vec<(u64, MappingSnapshot)> = Vec::new();
-    let mut weighted_syn = 0.0;
-    let mut weighted_ratio = 0.0;
-    let mut last_t = 0u64;
-    let mut current_syn_count = 0usize;
-    let mut current_ratio = 0.0;
-
-    let take_snapshot = |t: u64,
-                         optimizer: &Option<BaseStationOptimizer>,
-                         live: &BTreeMap<QueryId, Query>,
-                         snapshots: &mut Vec<(u64, MappingSnapshot)>| {
-        let mut snap = MappingSnapshot::new();
-        if let Some(opt) = optimizer {
-            for (uid, uq) in live {
-                if let Some(syn_id) = opt.mapping(*uid) {
-                    if let Some(sq) = opt.synthetic(syn_id) {
-                        snap.insert(*uid, (syn_id, sq.query().clone(), uq.clone()));
-                    }
+/// Appends the user → synthetic mapping in force after the events at `t`.
+fn take_mapping_snapshot(
+    t: u64,
+    optimizer: &Option<BaseStationOptimizer>,
+    live: &BTreeMap<QueryId, Query>,
+    snapshots: &mut Vec<(u64, MappingSnapshot)>,
+) {
+    let mut snap = MappingSnapshot::new();
+    if let Some(opt) = optimizer {
+        for (uid, uq) in live {
+            if let Some(syn_id) = opt.mapping(*uid) {
+                if let Some(sq) = opt.synthetic(syn_id) {
+                    snap.insert(*uid, (syn_id, sq.query().clone(), uq.clone()));
                 }
             }
-        } else {
-            for (uid, uq) in live {
-                snap.insert(*uid, (*uid, uq.clone(), uq.clone()));
-            }
         }
-        snapshots.push((t, snap));
+    } else {
+        for (uid, uq) in live {
+            snap.insert(*uid, (*uid, uq.clone(), uq.clone()));
+        }
+    }
+    snapshots.push((t, snap));
+}
+
+/// The two concrete simulators a run can drive: the in-network tier runs the
+/// TTMQO protocol, everything else the TinyDB baseline.
+enum SimKind {
+    /// In-network TTMQO protocol (`InNetOnly`, `TwoTier`).
+    Ttmqo(Box<Simulator<TtmqoApp>>),
+    /// TinyDB baseline processing (`Baseline`, `BsOnly`).
+    TinyDb(Box<Simulator<TinyDbApp>>),
+}
+
+macro_rules! with_sim {
+    ($kind:expr, $sim:ident => $body:expr) => {
+        match $kind {
+            SimKind::Ttmqo($sim) => $body,
+            SimKind::TinyDb($sim) => $body,
+        }
     };
+}
 
-    let mut answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>> = BTreeMap::new();
-    // Workload events, then one final advance to the end of the run.
-    for step in events.into_iter().map(Some).chain(std::iter::once(None)) {
-        let t = step.as_ref().map_or(config.duration, |e| e.at);
+impl SimKind {
+    fn run_until(&mut self, t: SimTime) {
+        with_sim!(self, s => s.run_until(t))
+    }
 
-        // With the repair monitor armed, advance in base-epoch steps so the
-        // base station audits for missing answers while time passes; without
-        // it, jump straight to the event (the pre-fault behaviour).
-        if let Some(mon) = monitor.as_mut() {
-            let mut b = (last_t / BASE_EPOCH_MS + 1) * BASE_EPOCH_MS;
-            while b < t.as_ms() {
-                sim.run_until(SimTime::from_ms(b));
-                let fresh = sim.take_outputs();
-                ingest_outputs(
-                    fresh,
-                    config.adaptive_statistics,
-                    &mut optimizer,
-                    &snapshots,
-                    &terminated_at,
-                    topo,
-                    &mut answers,
-                    Some(mon),
-                    ts_collector.as_mut(),
-                    &config.trace,
-                );
-                let due = mon.due_repairs(b, &live_users);
-                let mut repaired = false;
-                for uid in due {
-                    let Some(opt) = optimizer.as_mut() else { break };
-                    let Some(syn) = opt.mapping(uid) else {
-                        continue;
-                    };
-                    let members: Vec<QueryId> = opt
-                        .synthetic(syn)
-                        .map(|sq| sq.members().collect())
-                        .unwrap_or_default();
-                    // Account the time-weighted stats up to the repair.
-                    let dt = (b - last_t) as f64;
-                    weighted_syn += current_syn_count as f64 * dt;
-                    weighted_ratio += current_ratio * dt;
-                    last_t = b;
-                    opt.set_trace_time(b);
-                    for op in opt.reoptimize(syn) {
-                        let cmd = match op {
-                            NetworkOp::Inject(q) => Command::Pose(q),
-                            NetworkOp::Abort(id) => Command::Terminate(id),
-                        };
-                        sim.schedule_command(SimTime::from_ms(b), NodeId::BASE_STATION, cmd);
-                    }
-                    current_syn_count = opt.synthetic_count();
-                    current_ratio = opt.benefit_ratio();
-                    mon.note_repaired(b, &members, &live_users);
-                    repaired = true;
-                }
-                if repaired {
-                    take_snapshot(b, &optimizer, &live_users, &mut snapshots);
-                }
-                b += BASE_EPOCH_MS;
-            }
+    fn take_outputs(&mut self) -> Vec<ttmqo_sim::OutputRecord<Output>> {
+        with_sim!(self, s => s.take_outputs())
+    }
+
+    fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: Command) {
+        with_sim!(self, s => s.schedule_command(at, node, cmd))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        with_sim!(self, s => s.metrics())
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        with_sim!(self, s => s.engine_stats())
+    }
+
+    fn take_timeseries(&mut self) -> Option<Box<WindowRecorder>> {
+        with_sim!(self, s => s.take_timeseries())
+    }
+
+    fn replace_fault_plan(&mut self, plan: &FaultPlan) {
+        with_sim!(self, s => s.replace_fault_plan(plan))
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        with_sim!(self, s => s.set_trace(trace))
+    }
+
+    fn now(&self) -> SimTime {
+        with_sim!(self, s => s.now())
+    }
+
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        with_sim!(self, s => s.write_snapshot(w))
+    }
+}
+
+/// Stable on-disk tag of each strategy inside runner snapshot sections.
+fn strategy_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::Baseline => 0,
+        Strategy::BsOnly => 1,
+        Strategy::InNetOnly => 2,
+        Strategy::TwoTier => 3,
+    }
+}
+
+fn strategy_name_of_tag(tag: u8) -> String {
+    match tag {
+        0 => "baseline".into(),
+        1 => "bs-only".into(),
+        2 => "in-net-only".into(),
+        3 => "two-tier".into(),
+        other => format!("unknown strategy tag {other}"),
+    }
+}
+
+/// One experiment in progress: the simulator plus every piece of
+/// base-station-side driver state (answer attribution, repair monitoring,
+/// time-weighted statistics, completeness bookkeeping).
+///
+/// [`run_experiment`] is `RunSession::new(..).finish()`. The session API
+/// adds mid-run control: [`run_to`](Self::run_to) advances to an arbitrary
+/// time, [`checkpoint`](Self::checkpoint) serializes the complete run state
+/// into a versioned snapshot document, and [`restore`](Self::restore)
+/// resumes it such that finishing is bit-identical — same [`RunReport`],
+/// same trace events — to a run that never stopped.
+pub struct RunSession {
+    config: ExperimentConfig,
+    topo: Topology,
+    events: Vec<WorkloadEvent>,
+    /// Next workload event to apply.
+    event_idx: usize,
+    sim: SimKind,
+    optimizer: Option<BaseStationOptimizer>,
+    /// Materialized fault schedule (completeness expectations); recomputed
+    /// from the config at restore, never serialized.
+    schedule: Option<FaultSchedule>,
+    window_ms: u64,
+    monitor: Option<RepairMonitor>,
+    ts_collector: Option<TimeseriesCollector>,
+    live_users: BTreeMap<QueryId, Query>,
+    /// When each user query was terminated, ms. TinyDB labels an answer with
+    /// its epoch's *start* time but emits it at the epoch's close, so an
+    /// epoch can straddle a Terminate; attribution also checks the answer's
+    /// arrival time against this.
+    terminated_at: BTreeMap<QueryId, u64>,
+    posed_at: BTreeMap<QueryId, u64>,
+    posed_query: BTreeMap<QueryId, Query>,
+    snapshots: Vec<(u64, MappingSnapshot)>,
+    weighted_syn: f64,
+    weighted_ratio: f64,
+    last_t: u64,
+    current_syn_count: usize,
+    current_ratio: f64,
+    answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>>,
+    /// Highest base-epoch boundary the repair monitor has audited (and the
+    /// floor above which the next audit boundary is computed). Advanced to
+    /// the event time at each workload event, matching the audit loop the
+    /// monolithic driver ran per inter-event interval.
+    audited_to: u64,
+}
+
+impl std::fmt::Debug for RunSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSession")
+            .field("strategy", &self.config.strategy)
+            .field("now_ms", &self.sim.now().as_ms())
+            .field("event_idx", &self.event_idx)
+            .field("live_users", &self.live_users.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunSession {
+    /// Builds a session at time zero, ready to run the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot be constructed (e.g. `grid_n == 0`).
+    pub fn new(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> RunSession {
+        let topo = config
+            .topology_override
+            .clone()
+            .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
+        let events = Self::prepare_events(config, workload);
+        let sim = if config.strategy.uses_innetwork_tier() {
+            let field = build_field(config, &topo);
+            let innetwork = effective_innetwork(config);
+            let mut sim = Simulator::new(
+                topo.clone(),
+                config.radio.clone(),
+                config.sim.clone(),
+                field,
+                move |_, _| TtmqoApp::new(innetwork.clone()),
+            );
+            sim.set_trace(config.trace.clone());
+            sim.set_timeseries(
+                config
+                    .timeseries
+                    .as_ref()
+                    .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
+            );
+            sim.install_fault_plan(&config.faults);
+            SimKind::Ttmqo(Box::new(sim))
+        } else {
+            let field = build_field(config, &topo);
+            let mut sim = Simulator::new(
+                topo.clone(),
+                config.radio.clone(),
+                config.sim.clone(),
+                field,
+                |_, _| TinyDbApp::new(TinyDbConfig::default()),
+            );
+            sim.set_trace(config.trace.clone());
+            sim.set_timeseries(
+                config
+                    .timeseries
+                    .as_ref()
+                    .map(|c| Box::new(WindowRecorder::new(topo.node_count(), c))),
+            );
+            sim.install_fault_plan(&config.faults);
+            SimKind::TinyDb(Box::new(sim))
+        };
+
+        let rewriting = config.strategy.uses_basestation_tier();
+        let optimizer = rewriting.then(|| {
+            let mut opt = build_optimizer(config, &topo);
+            opt.set_trace(config.trace.clone());
+            opt
+        });
+        // Fault bookkeeping: the same deterministic schedule the engine
+        // executes, used for completeness expectations, plus the repair
+        // monitor (armed only for faulty runs with the rewriting tier —
+        // fault-free runs take exactly the pre-fault code path).
+        let schedule = (!config.faults.is_empty()).then(|| config.faults.materialize(&topo));
+        let window_ms = (topo.max_level() as u64 + 1) * config.innetwork.slot_ms
+            + config.innetwork.jitter_ms
+            + 32;
+        let monitor = (rewriting && schedule.is_some()).then(|| RepairMonitor::new(window_ms));
+        let ts_collector = config
+            .timeseries
+            .as_ref()
+            .map(|c| TimeseriesCollector::new(c.window_ms));
+
+        RunSession {
+            config: config.clone(),
+            topo,
+            events,
+            event_idx: 0,
+            sim,
+            optimizer,
+            schedule,
+            window_ms,
+            monitor,
+            ts_collector,
+            live_users: BTreeMap::new(),
+            terminated_at: BTreeMap::new(),
+            posed_at: BTreeMap::new(),
+            posed_query: BTreeMap::new(),
+            snapshots: Vec::new(),
+            weighted_syn: 0.0,
+            weighted_ratio: 0.0,
+            last_t: 0,
+            current_syn_count: 0,
+            current_ratio: 0.0,
+            answers: BTreeMap::new(),
+            audited_to: 0,
         }
+    }
 
-        // Advance the network to the event time (or the end of the run) and
-        // attribute whatever answers it produced.
-        sim.run_until(t);
-        let fresh = sim.take_outputs();
+    /// Sorts the workload and drops events the run can never observe. An
+    /// event scheduled at or past `duration` would push the time-weighted
+    /// accounting past the measured window (and underflow the
+    /// `duration − last_event` interval).
+    pub(crate) fn prepare_events(
+        config: &ExperimentConfig,
+        workload: &[WorkloadEvent],
+    ) -> Vec<WorkloadEvent> {
+        let mut events: Vec<WorkloadEvent> = workload.to_vec();
+        events.sort_by_key(|e| e.at);
+        events.retain(|e| e.at < config.duration);
+        events
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The configuration the session runs under.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Drains pending network outputs into the answer/statistics state.
+    fn ingest(&mut self) {
+        let fresh = self.sim.take_outputs();
         ingest_outputs(
             fresh,
-            config.adaptive_statistics,
-            &mut optimizer,
-            &snapshots,
-            &terminated_at,
-            topo,
-            &mut answers,
-            monitor.as_mut(),
-            ts_collector.as_mut(),
-            &config.trace,
+            self.config.adaptive_statistics,
+            &mut self.optimizer,
+            &self.snapshots,
+            &self.terminated_at,
+            &self.topo,
+            &mut self.answers,
+            self.monitor.as_mut(),
+            self.ts_collector.as_mut(),
+            &self.config.trace,
         );
-        // Accumulate time-weighted stats over [last_t, t).
-        let dt = (t.as_ms() - last_t) as f64;
-        weighted_syn += current_syn_count as f64 * dt;
-        weighted_ratio += current_ratio * dt;
-        last_t = t.as_ms();
+    }
 
-        let Some(event) = step else { break };
+    /// Folds the time-weighted statistics over `[last_t, t_ms)`. Called only
+    /// at workload events, repairs, and the end of the run — never at a
+    /// checkpoint, so resuming folds the same intervals a straight run does.
+    fn fold_dt(&mut self, t_ms: u64) {
+        let dt = t_ms.saturating_sub(self.last_t) as f64;
+        self.weighted_syn += self.current_syn_count as f64 * dt;
+        self.weighted_ratio += self.current_ratio * dt;
+        self.last_t = t_ms;
+    }
 
-        let ops: Vec<NetworkOp> = match (&mut optimizer, event.action) {
+    /// With the repair monitor armed, advances in base-epoch steps so the
+    /// base station audits for missing answers while time passes; without
+    /// it, this is a no-op (the pre-fault behaviour). Audits boundaries
+    /// strictly below `t_ms`, plus `t_ms` itself when `inclusive` (a
+    /// mid-interval stop at an audit boundary must run that audit, exactly
+    /// as a straight run does when its clock passes the boundary).
+    fn audit_to(&mut self, t_ms: u64, inclusive: bool) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let mut b = (self.audited_to / BASE_EPOCH_MS + 1) * BASE_EPOCH_MS;
+        while b < t_ms || (inclusive && b == t_ms) {
+            self.sim.run_until(SimTime::from_ms(b));
+            self.ingest();
+            let due = match self.monitor.as_mut() {
+                Some(mon) => mon.due_repairs(b, &self.live_users),
+                None => Vec::new(),
+            };
+            let mut repaired = false;
+            for uid in due {
+                let Some(opt) = self.optimizer.as_mut() else {
+                    break;
+                };
+                let Some(syn) = opt.mapping(uid) else {
+                    continue;
+                };
+                let members: Vec<QueryId> = opt
+                    .synthetic(syn)
+                    .map(|sq| sq.members().collect())
+                    .unwrap_or_default();
+                // Account the time-weighted stats up to the repair.
+                let dt = (b - self.last_t) as f64;
+                self.weighted_syn += self.current_syn_count as f64 * dt;
+                self.weighted_ratio += self.current_ratio * dt;
+                self.last_t = b;
+                opt.set_trace_time(b);
+                let ops = opt.reoptimize(syn);
+                for op in ops {
+                    let cmd = match op {
+                        NetworkOp::Inject(q) => Command::Pose(q),
+                        NetworkOp::Abort(id) => Command::Terminate(id),
+                    };
+                    self.sim
+                        .schedule_command(SimTime::from_ms(b), NodeId::BASE_STATION, cmd);
+                }
+                self.current_syn_count = self
+                    .optimizer
+                    .as_ref()
+                    .map_or(self.live_users.len(), |o| o.synthetic_count());
+                self.current_ratio = self.optimizer.as_ref().map_or(0.0, |o| o.benefit_ratio());
+                if let Some(mon) = self.monitor.as_mut() {
+                    mon.note_repaired(b, &members, &self.live_users);
+                }
+                repaired = true;
+            }
+            if repaired {
+                take_mapping_snapshot(b, &self.optimizer, &self.live_users, &mut self.snapshots);
+            }
+            self.audited_to = b;
+            b += BASE_EPOCH_MS;
+        }
+    }
+
+    /// Applies the next workload event (the simulator has already been
+    /// advanced to its time and outputs drained).
+    fn apply_event(&mut self) {
+        let event = self.events[self.event_idx].clone();
+        self.event_idx += 1;
+        let t = event.at;
+        let ops: Vec<NetworkOp> = match (&mut self.optimizer, event.action) {
             (Some(opt), WorkloadAction::Pose(q)) => {
-                live_users.insert(q.id(), q.clone());
-                posed_at.insert(q.id(), t.as_ms());
-                posed_query.insert(q.id(), q.clone());
-                if let Some(mon) = monitor.as_mut() {
+                self.live_users.insert(q.id(), q.clone());
+                self.posed_at.insert(q.id(), t.as_ms());
+                self.posed_query.insert(q.id(), q.clone());
+                if let Some(mon) = self.monitor.as_mut() {
                     mon.note_posed(&q, t.as_ms());
                 }
                 opt.set_trace_time(t.as_ms());
@@ -951,23 +1135,23 @@ where
                     .expect("workload ids are unique and unreserved")
             }
             (Some(opt), WorkloadAction::Terminate(qid)) => {
-                live_users.remove(&qid);
-                terminated_at.insert(qid, t.as_ms());
-                if let Some(mon) = monitor.as_mut() {
+                self.live_users.remove(&qid);
+                self.terminated_at.insert(qid, t.as_ms());
+                if let Some(mon) = self.monitor.as_mut() {
                     mon.note_terminated(qid);
                 }
                 opt.set_trace_time(t.as_ms());
                 opt.terminate(qid)
             }
             (None, WorkloadAction::Pose(q)) => {
-                live_users.insert(q.id(), q.clone());
-                posed_at.insert(q.id(), t.as_ms());
-                posed_query.insert(q.id(), q.clone());
+                self.live_users.insert(q.id(), q.clone());
+                self.posed_at.insert(q.id(), t.as_ms());
+                self.posed_query.insert(q.id(), q.clone());
                 vec![NetworkOp::Inject(q)]
             }
             (None, WorkloadAction::Terminate(qid)) => {
-                live_users.remove(&qid);
-                terminated_at.insert(qid, t.as_ms());
+                self.live_users.remove(&qid);
+                self.terminated_at.insert(qid, t.as_ms());
                 vec![NetworkOp::Abort(qid)]
             }
         };
@@ -976,140 +1160,573 @@ where
                 NetworkOp::Inject(q) => Command::Pose(q),
                 NetworkOp::Abort(id) => Command::Terminate(id),
             };
-            sim.schedule_command(t, NodeId::BASE_STATION, cmd);
+            self.sim.schedule_command(t, NodeId::BASE_STATION, cmd);
         }
-        current_syn_count = match &optimizer {
+        self.current_syn_count = match &self.optimizer {
             Some(opt) => opt.synthetic_count(),
-            None => live_users.len(),
+            None => self.live_users.len(),
         };
-        current_ratio = optimizer.as_ref().map_or(0.0, |o| o.benefit_ratio());
-        take_snapshot(t.as_ms(), &optimizer, &live_users, &mut snapshots);
+        self.current_ratio = self.optimizer.as_ref().map_or(0.0, |o| o.benefit_ratio());
+        take_mapping_snapshot(
+            t.as_ms(),
+            &self.optimizer,
+            &self.live_users,
+            &mut self.snapshots,
+        );
+        self.audited_to = self.audited_to.max(t.as_ms());
     }
 
-    for per_query in answers.values_mut() {
-        per_query.sort_by_key(|(e, _)| *e);
-    }
-
-    // Whole-run answer-completeness accounting: for every expected epoch
-    // (query live, collection window fits the run, at least one statically
-    // matching node alive) check whether a non-empty answer was delivered.
-    // "Statically matching" = id/position can satisfy the query; value
-    // predicates depend on readings, so row expectations are an upper bound
-    // and exact for predicate-free acquisition queries.
-    let srt = Srt::build(topo);
-    let mut per_query: BTreeMap<QueryId, QueryCompleteness> = BTreeMap::new();
-    for (uid, q) in &posed_query {
-        let pose = posed_at[uid];
-        let end = terminated_at
-            .get(uid)
-            .copied()
-            .unwrap_or(u64::MAX)
-            .min(config.duration.as_ms());
-        let static_matching: Vec<NodeId> = topo
-            .nodes()
-            .filter(|&n| n != NodeId::BASE_STATION && srt.node_matches(n, q))
-            .collect();
-        let by_epoch: BTreeMap<u64, (bool, u64)> = answers
-            .get(uid)
-            .map(|v| {
-                v.iter()
-                    .map(|(e, a)| {
-                        let info = match a {
-                            EpochAnswer::Rows(rows) => (!rows.is_empty(), rows.len() as u64),
-                            EpochAnswer::Aggregates(vals) => (!vals.is_empty(), 0),
-                        };
-                        (*e, info)
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        let is_acquisition = matches!(q.selection(), Selection::Attributes(_));
-        let mut qc = QueryCompleteness::default();
-        let step = q.epoch().as_ms();
-        let mut e = q.epoch().next_fire_at(pose + 1);
-        while e + window_ms < end {
-            let alive = static_matching
-                .iter()
-                .filter(|&&n| schedule.as_ref().is_none_or(|s| s.alive_at(n, e)))
-                .count() as u64;
-            if alive > 0 {
-                qc.expected_epochs += 1;
-                if is_acquisition {
-                    qc.expected_rows += alive;
+    /// Advances the run to time `t` (clamped to the configured duration),
+    /// applying every workload event at or before it, exactly as an
+    /// uninterrupted run would pass through `t`. Stopping here and
+    /// checkpointing, then restoring and finishing, is bit-identical to
+    /// never stopping.
+    pub fn run_to(&mut self, t: SimTime) {
+        let target = t.min(self.config.duration);
+        if target < self.sim.now() {
+            return;
+        }
+        loop {
+            match self.events.get(self.event_idx).map(|e| e.at) {
+                Some(et) if et <= target => {
+                    self.audit_to(et.as_ms(), false);
+                    self.sim.run_until(et);
+                    self.ingest();
+                    self.fold_dt(et.as_ms());
+                    self.apply_event();
                 }
-                if let Some((nonempty, rows)) = by_epoch.get(&e) {
-                    if *nonempty {
-                        qc.answered_epochs += 1;
+                _ => {
+                    // A partial interval: audit boundaries up to and
+                    // including `target` — except at the run's end, where
+                    // the straight driver audits strictly below `duration`.
+                    let inclusive = target < self.config.duration;
+                    self.audit_to(target.as_ms(), inclusive);
+                    self.sim.run_until(target);
+                    self.ingest();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Swaps the engine's fault plan: pending injected fault events are
+    /// retracted, the new plan is installed from the current instant, and
+    /// the session's completeness expectations follow it. This is the fork
+    /// primitive — restore one checkpoint N times and hand each session a
+    /// divergent plan. The repair monitor and the per-node failure-detector
+    /// configuration keep their checkpointed state (a cold run with the new
+    /// plan may arm them differently).
+    pub fn replace_fault_plan(&mut self, plan: &FaultPlan) {
+        self.sim.replace_fault_plan(plan);
+        self.config.faults = plan.clone();
+        self.schedule = (!plan.is_empty()).then(|| plan.materialize(&self.topo));
+    }
+
+    /// Runs to the end of the workload and assembles the report.
+    pub fn finish(mut self) -> RunReport {
+        let duration = self.config.duration;
+        self.run_to(duration);
+        self.fold_dt(duration.as_ms());
+
+        for per_query in self.answers.values_mut() {
+            per_query.sort_by_key(|(e, _)| *e);
+        }
+
+        // Whole-run answer-completeness accounting: for every expected epoch
+        // (query live, collection window fits the run, at least one
+        // statically matching node alive) check whether a non-empty answer
+        // was delivered. "Statically matching" = id/position can satisfy the
+        // query; value predicates depend on readings, so row expectations
+        // are an upper bound and exact for predicate-free acquisition
+        // queries.
+        let srt = Srt::build(&self.topo);
+        let mut per_query: BTreeMap<QueryId, QueryCompleteness> = BTreeMap::new();
+        for (uid, q) in &self.posed_query {
+            let pose = self.posed_at[uid];
+            let end = self
+                .terminated_at
+                .get(uid)
+                .copied()
+                .unwrap_or(u64::MAX)
+                .min(duration.as_ms());
+            let static_matching: Vec<NodeId> = self
+                .topo
+                .nodes()
+                .filter(|&n| n != NodeId::BASE_STATION && srt.node_matches(n, q))
+                .collect();
+            let by_epoch: BTreeMap<u64, (bool, u64)> = self
+                .answers
+                .get(uid)
+                .map(|v| {
+                    v.iter()
+                        .map(|(e, a)| {
+                            let info = match a {
+                                EpochAnswer::Rows(rows) => (!rows.is_empty(), rows.len() as u64),
+                                EpochAnswer::Aggregates(vals) => (!vals.is_empty(), 0),
+                            };
+                            (*e, info)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let is_acquisition = matches!(q.selection(), Selection::Attributes(_));
+            let mut qc = QueryCompleteness::default();
+            let step = q.epoch().as_ms();
+            let mut e = q.epoch().next_fire_at(pose + 1);
+            while e + self.window_ms < end {
+                let alive = static_matching
+                    .iter()
+                    .filter(|&&n| self.schedule.as_ref().is_none_or(|s| s.alive_at(n, e)))
+                    .count() as u64;
+                if alive > 0 {
+                    qc.expected_epochs += 1;
+                    if is_acquisition {
+                        qc.expected_rows += alive;
                     }
-                    qc.delivered_rows += rows;
+                    if let Some((nonempty, rows)) = by_epoch.get(&e) {
+                        if *nonempty {
+                            qc.answered_epochs += 1;
+                        }
+                        qc.delivered_rows += rows;
+                    }
+                }
+                e += step;
+            }
+            per_query.insert(*uid, qc);
+        }
+        let completeness = match &self.monitor {
+            Some(mon) => CompletenessReport {
+                per_query,
+                repairs_triggered: mon.repairs,
+                repair_latency_ms: mon.latencies_ms.clone(),
+            },
+            None => CompletenessReport {
+                per_query,
+                ..CompletenessReport::default()
+            },
+        };
+
+        let total = duration.as_ms().max(1) as f64;
+        let metrics = self.sim.metrics().clone();
+        let energy_profile = self
+            .config
+            .timeseries
+            .as_ref()
+            .map(|c| c.energy)
+            .unwrap_or_default();
+        let energy_mj = metrics.total_energy_mj(&energy_profile);
+        let max_node_energy_mj = metrics.max_node_energy_mj(&energy_profile);
+        let mut ts_collector = self.ts_collector;
+        let schedule = self.schedule;
+        let timeseries = self.sim.take_timeseries().map(|recorder| {
+            let nodes = recorder.finalize(duration);
+            let mut per_query = ts_collector.take().map(|c| c.per_query).unwrap_or_default();
+            // Pad every query series to the node grid so consumers can
+            // iterate window-for-window without length checks.
+            for series in per_query.values_mut() {
+                while series.latency.len() < nodes.windows.len() {
+                    series.latency.push(empty_latency_hist());
+                    series.answers.push(0);
+                    series.nonempty.push(0);
                 }
             }
-            e += step;
-        }
-        per_query.insert(*uid, qc);
-    }
-    let completeness = match &monitor {
-        Some(mon) => CompletenessReport {
-            per_query,
-            repairs_triggered: mon.repairs,
-            repair_latency_ms: mon.latencies_ms.clone(),
-        },
-        None => CompletenessReport {
-            per_query,
-            ..CompletenessReport::default()
-        },
-    };
-
-    let total = config.duration.as_ms().max(1) as f64;
-    let metrics = sim.metrics().clone();
-    let energy_profile = config
-        .timeseries
-        .as_ref()
-        .map(|c| c.energy)
-        .unwrap_or_default();
-    let energy_mj = metrics.total_energy_mj(&energy_profile);
-    let max_node_energy_mj = metrics.max_node_energy_mj(&energy_profile);
-    let timeseries = sim.take_timeseries().map(|recorder| {
-        let nodes = recorder.finalize(config.duration);
-        let mut per_query = ts_collector.take().map(|c| c.per_query).unwrap_or_default();
-        // Pad every query series to the node grid so consumers can iterate
-        // window-for-window without length checks.
-        for series in per_query.values_mut() {
-            while series.latency.len() < nodes.windows.len() {
-                series.latency.push(empty_latency_hist());
-                series.answers.push(0);
-                series.nonempty.push(0);
+            let mut crash_times_ms: Vec<u64> = schedule
+                .as_ref()
+                .map(|s| s.crashes().iter().map(|c| c.at_ms).collect())
+                .unwrap_or_default();
+            crash_times_ms.sort_unstable();
+            RunTimeseries {
+                nodes,
+                per_query,
+                crash_times_ms,
             }
+        });
+        RunReport {
+            strategy: self.config.strategy,
+            metrics,
+            answers: self.answers,
+            avg_synthetic_count: self.weighted_syn / total,
+            avg_benefit_ratio: self.weighted_ratio / total,
+            optimizer_stats: self.optimizer.map(|o| o.stats()),
+            completeness,
+            engine: self.sim.engine_stats(),
+            energy_mj,
+            max_node_energy_mj,
+            timeseries,
         }
-        let mut crash_times_ms: Vec<u64> = schedule
-            .as_ref()
-            .map(|s| s.crashes().iter().map(|c| c.at_ms).collect())
-            .unwrap_or_default();
-        crash_times_ms.sort_unstable();
-        RunTimeseries {
-            nodes,
+    }
+
+    /// Serializes the complete run state — engine section plus runner
+    /// section — into one versioned snapshot document.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut sw = SnapWriter::new();
+        self.sim.write_snapshot(&mut sw);
+        let mut rw = SnapWriter::new();
+        self.write_runner_snapshot(&mut rw);
+        let mut b = SnapshotBuilder::new();
+        b.section(SECTION_SIMULATOR, sw.as_bytes());
+        b.section(SECTION_RUNNER, rw.as_bytes());
+        b.finish()
+    }
+
+    /// Serializes the runner-side state. Deliberately NOT serialized:
+    /// `config`, `topo` and `events` (re-supplied at restore, like the
+    /// engine's field and factory), `sim` (its own section), and `schedule`
+    /// (a pure function of config and topology).
+    fn write_runner_snapshot(&self, w: &mut SnapWriter) {
+        let RunSession {
+            config,
+            topo: _,
+            events: _,
+            event_idx,
+            sim: _,
+            optimizer,
+            schedule: _,
+            window_ms: _,
+            monitor,
+            ts_collector,
+            live_users,
+            terminated_at,
+            posed_at,
+            posed_query,
+            snapshots,
+            weighted_syn,
+            weighted_ratio,
+            last_t,
+            current_syn_count,
+            current_ratio,
+            answers,
+            audited_to,
+        } = self;
+        w.put_u8(strategy_tag(config.strategy));
+        w.put_usize(*event_idx);
+        w.put_u64(*audited_to);
+        match optimizer {
+            Some(opt) => {
+                w.put_bool(true);
+                opt.write_snapshot(w);
+            }
+            None => w.put_bool(false),
+        }
+        monitor.write(w);
+        ts_collector.write(w);
+        live_users.write(w);
+        terminated_at.write(w);
+        posed_at.write(w);
+        posed_query.write(w);
+        snapshots.write(w);
+        w.put_f64(*weighted_syn);
+        w.put_f64(*weighted_ratio);
+        w.put_u64(*last_t);
+        w.put_usize(*current_syn_count);
+        w.put_f64(*current_ratio);
+        answers.write(w);
+    }
+
+    /// Rebuilds a session from a [`checkpoint`](Self::checkpoint) document.
+    ///
+    /// `config` and `workload` re-supply everything the snapshot
+    /// deliberately omits and must match the originals (the strategy is
+    /// validated; the rest is trusted the same way the engine trusts its
+    /// re-supplied field and factory). The trace handle in `config` is
+    /// attached to the restored engine and optimizer, so a traced resume
+    /// continues emitting from the restore point.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: corrupted or truncated documents, foreign
+    /// magic, a schema-version mismatch, or a strategy mismatch between the
+    /// snapshot and the supplied configuration.
+    pub fn restore(
+        bytes: &[u8],
+        config: &ExperimentConfig,
+        workload: &[WorkloadEvent],
+    ) -> Result<RunSession, SnapshotError> {
+        let doc = SnapshotDocument::parse(bytes)?;
+        let topo = config
+            .topology_override
+            .clone()
+            .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
+        let events = Self::prepare_events(config, workload);
+
+        // Validate the strategy tag before touching the simulator section:
+        // the engine payload's wire type depends on the strategy's tier, so
+        // a mismatch would otherwise surface as an opaque payload decode
+        // error instead of this targeted one.
+        let mut r = doc.section(SECTION_RUNNER)?;
+        let tag = r.u8()?;
+        if tag != strategy_tag(config.strategy) {
+            return Err(SnapshotError::Corrupt(format!(
+                "checkpoint was taken under strategy {} but the supplied configuration runs {}",
+                strategy_name_of_tag(tag),
+                config.strategy
+            )));
+        }
+
+        let mut s = doc.section(SECTION_SIMULATOR)?;
+        let mut sim = if config.strategy.uses_innetwork_tier() {
+            let field = build_field(config, &topo);
+            let innetwork = effective_innetwork(config);
+            SimKind::Ttmqo(Box::new(Simulator::read_snapshot(
+                &mut s,
+                field,
+                move |_, _| TtmqoApp::new(innetwork.clone()),
+            )?))
+        } else {
+            let field = build_field(config, &topo);
+            SimKind::TinyDb(Box::new(Simulator::read_snapshot(
+                &mut s,
+                field,
+                |_, _| TinyDbApp::new(TinyDbConfig::default()),
+            )?))
+        };
+        s.finish()?;
+        sim.set_trace(config.trace.clone());
+
+        let event_idx = r.usize()?;
+        let audited_to = r.u64()?;
+        let optimizer = if r.bool()? {
+            let mut opt =
+                BaseStationOptimizer::read_snapshot(&mut r, build_optimizer(config, &topo))?;
+            opt.set_trace(config.trace.clone());
+            Some(opt)
+        } else {
+            None
+        };
+        if optimizer.is_some() != config.strategy.uses_basestation_tier() {
+            return Err(SnapshotError::Corrupt(
+                "optimizer presence disagrees with the strategy".into(),
+            ));
+        }
+        let monitor: Option<RepairMonitor> = Restorable::read(&mut r)?;
+        let ts_collector: Option<TimeseriesCollector> = Restorable::read(&mut r)?;
+        let live_users: BTreeMap<QueryId, Query> = Restorable::read(&mut r)?;
+        let terminated_at: BTreeMap<QueryId, u64> = Restorable::read(&mut r)?;
+        let posed_at: BTreeMap<QueryId, u64> = Restorable::read(&mut r)?;
+        let posed_query: BTreeMap<QueryId, Query> = Restorable::read(&mut r)?;
+        let snapshots: Vec<(u64, MappingSnapshot)> = Restorable::read(&mut r)?;
+        let weighted_syn = r.f64()?;
+        let weighted_ratio = r.f64()?;
+        let last_t = r.u64()?;
+        let current_syn_count = r.usize()?;
+        let current_ratio = r.f64()?;
+        let answers: BTreeMap<QueryId, Vec<(u64, EpochAnswer)>> = Restorable::read(&mut r)?;
+        r.finish()?;
+
+        if event_idx > events.len() {
+            return Err(SnapshotError::Corrupt(
+                "checkpoint event index lies past the supplied workload".into(),
+            ));
+        }
+
+        let schedule = (!config.faults.is_empty()).then(|| config.faults.materialize(&topo));
+        let window_ms = (topo.max_level() as u64 + 1) * config.innetwork.slot_ms
+            + config.innetwork.jitter_ms
+            + 32;
+        Ok(RunSession {
+            config: config.clone(),
+            topo,
+            events,
+            event_idx,
+            sim,
+            optimizer,
+            schedule,
+            window_ms,
+            monitor,
+            ts_collector,
+            live_users,
+            terminated_at,
+            posed_at,
+            posed_query,
+            snapshots,
+            weighted_syn,
+            weighted_ratio,
+            last_t,
+            current_syn_count,
+            current_ratio,
+            answers,
+            audited_to,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot impls for the runner's own state-bearing types
+// ---------------------------------------------------------------------------
+
+fn write_histogram(h: &Histogram, w: &mut SnapWriter) {
+    w.put_f64(h.lo());
+    w.put_f64(h.hi());
+    h.buckets().to_vec().write(w);
+    w.put_u64(h.total());
+}
+
+fn read_histogram(r: &mut SnapReader<'_>) -> Result<Histogram, SnapshotError> {
+    let lo = r.f64()?;
+    let hi = r.f64()?;
+    let buckets = Vec::<u64>::read(r)?;
+    let total = r.u64()?;
+    Histogram::from_parts(lo, hi, buckets, total)
+        .map_err(|e| SnapshotError::Corrupt(format!("bad latency histogram: {e}")))
+}
+
+impl Snapshot for QueryWindowSeries {
+    fn write(&self, w: &mut SnapWriter) {
+        let QueryWindowSeries {
+            latency,
+            answers,
+            nonempty,
+        } = self;
+        w.put_usize(latency.len());
+        for h in latency {
+            write_histogram(h, w);
+        }
+        answers.write(w);
+        nonempty.write(w);
+    }
+}
+
+impl Restorable for QueryWindowSeries {
+    fn read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.usize()?;
+        let mut latency = Vec::new();
+        for _ in 0..n {
+            latency.push(read_histogram(r)?);
+        }
+        Ok(QueryWindowSeries {
+            latency,
+            answers: Restorable::read(r)?,
+            nonempty: Restorable::read(r)?,
+        })
+    }
+}
+
+impl Snapshot for TimeseriesCollector {
+    fn write(&self, w: &mut SnapWriter) {
+        let TimeseriesCollector {
+            window_ms,
             per_query,
-            crash_times_ms,
-        }
-    });
-    RunReport {
-        strategy: config.strategy,
-        metrics,
-        answers,
-        avg_synthetic_count: weighted_syn / total,
-        avg_benefit_ratio: weighted_ratio / total,
-        optimizer_stats: optimizer.map(|o| o.stats()),
-        completeness,
-        engine: sim.engine_stats(),
-        energy_mj,
-        max_node_energy_mj,
-        timeseries,
+        } = self;
+        w.put_u64(*window_ms);
+        per_query.write(w);
+    }
+}
+
+impl Restorable for TimeseriesCollector {
+    fn read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TimeseriesCollector {
+            window_ms: r.u64()?,
+            per_query: Restorable::read(r)?,
+        })
+    }
+}
+
+impl Snapshot for RepairMonitor {
+    fn write(&self, w: &mut SnapWriter) {
+        let RepairMonitor {
+            window_ms,
+            audit_next,
+            streaks,
+            answered,
+            pending,
+            repairs,
+            latencies_ms,
+        } = self;
+        w.put_u64(*window_ms);
+        audit_next.write(w);
+        streaks.write(w);
+        answered.write(w);
+        pending.write(w);
+        w.put_u64(*repairs);
+        latencies_ms.write(w);
+    }
+}
+
+impl Restorable for RepairMonitor {
+    fn read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RepairMonitor {
+            window_ms: r.u64()?,
+            audit_next: Restorable::read(r)?,
+            streaks: Restorable::read(r)?,
+            answered: Restorable::read(r)?,
+            pending: Restorable::read(r)?,
+            repairs: r.u64()?,
+            latencies_ms: Restorable::read(r)?,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::snapshot_at;
+    use super::{snapshot_at, QueryWindowSeries, RepairMonitor, TimeseriesCollector};
+    use std::collections::{BTreeMap, BTreeSet};
+    use ttmqo_query::QueryId;
+    use ttmqo_sim::{Restorable, SnapReader, SnapWriter, Snapshot};
+    use ttmqo_stats::Histogram;
+
+    /// Encode → decode → require full consumption; compare via the debug
+    /// rendering (shortest-roundtrip floats, ordered maps → string equality
+    /// is bit equality). These are the runner's private state-bearing types,
+    /// unreachable from the integration-level roundtrip tests.
+    fn roundtrip_debug<T: Snapshot + Restorable + std::fmt::Debug>(value: &T) {
+        let mut w = SnapWriter::new();
+        value.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = T::read(&mut r).expect("roundtrip decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(format!("{back:?}"), format!("{value:?}"));
+    }
+
+    #[test]
+    fn query_window_series_roundtrips_with_populated_histograms() {
+        let mut h = Histogram::new(0.0, 10_000.0, 16).unwrap();
+        h.add(120.0);
+        h.add(9_500.0);
+        h.add(-3.0); // below-lo clamps into the first bucket; total still counts it
+        let series = QueryWindowSeries {
+            latency: vec![h, Histogram::new(0.0, 10_000.0, 16).unwrap()],
+            answers: vec![3, 0, 7],
+            nonempty: vec![2, 0, 7],
+        };
+        roundtrip_debug(&series);
+    }
+
+    #[test]
+    fn timeseries_collector_roundtrips() {
+        let mut per_query = BTreeMap::new();
+        per_query.insert(
+            QueryId(4),
+            QueryWindowSeries {
+                latency: vec![Histogram::new(0.0, 1_000.0, 4).unwrap()],
+                answers: vec![1],
+                nonempty: vec![0],
+            },
+        );
+        roundtrip_debug(&TimeseriesCollector {
+            window_ms: 2048,
+            per_query,
+        });
+        roundtrip_debug(&TimeseriesCollector::new(0)); // window clamps to 1
+    }
+
+    #[test]
+    fn repair_monitor_roundtrips_mid_audit_state() {
+        let monitor = RepairMonitor {
+            window_ms: 352,
+            audit_next: BTreeMap::from([(QueryId(1), 4096), (QueryId(2), 6144)]),
+            streaks: BTreeMap::from([(QueryId(1), 0), (QueryId(2), 2)]),
+            answered: BTreeMap::from([
+                (QueryId(1), BTreeSet::from([2048, 4096])),
+                (QueryId(2), BTreeSet::new()),
+            ]),
+            pending: vec![(6144, vec![QueryId(2)])],
+            repairs: 1,
+            latencies_ms: vec![2048],
+        };
+        roundtrip_debug(&monitor);
+        roundtrip_debug(&RepairMonitor::new(352));
+    }
 
     /// The reverse linear scan `snapshot_at` replaced; kept as the oracle.
     fn naive<T>(timeline: &[(u64, T)], at: u64) -> Option<&T> {

@@ -1,0 +1,75 @@
+//! Property test for checkpoint/restore: for *random* checkpoint instants,
+//! workloads, strategies and fault plans, stopping a run, serializing it
+//! and resuming must reproduce the uninterrupted run's full `RunReport`
+//! exactly (the debug rendering uses shortest-roundtrip float formatting,
+//! so string equality is bit equality).
+//!
+//! Each case runs two short 4×4 simulations; the case count is kept small
+//! accordingly (override with `PROPTEST_CASES`).
+
+use proptest::prelude::*;
+// `ttmqo_core::Strategy` (the tier enum) shadows the glob-imported proptest
+// `Strategy` trait, so re-import the trait anonymously for `.prop_map`.
+use proptest::strategy::Strategy as _;
+use ttmqo_core::{run_experiment, ExperimentConfig, RunSession, Strategy, WorkloadEvent};
+use ttmqo_sim::{FaultPlan, NodeId, SimTime};
+use ttmqo_workloads::{churn_workload, workload_a, workload_b, ChurnWorkloadParams};
+
+const DURATION_MS: u64 = 10 * 2048;
+
+fn workload(ix: usize) -> Vec<WorkloadEvent> {
+    match ix {
+        0 => workload_a(),
+        1 => workload_b(),
+        _ => churn_workload(&ChurnWorkloadParams {
+            n_queries: 12,
+            n_templates: 6,
+            target_concurrency: 4.0,
+            seed: 0xBEEF,
+            ..ChurnWorkloadParams::default()
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(8))]
+
+    /// checkpoint(t) ∘ restore ∘ finish == finish, for arbitrary t.
+    #[test]
+    fn resume_from_any_instant_reproduces_the_straight_run(
+        cut_permille in 0u64..=1000,
+        workload_ix in 0usize..3,
+        two_tier in (0u8..2).prop_map(|b| b == 1),
+        faulty in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let config = ExperimentConfig {
+            strategy: if two_tier { Strategy::TwoTier } else { Strategy::InNetOnly },
+            grid_n: 4,
+            duration: SimTime::from_ms(DURATION_MS),
+            faults: if faulty {
+                FaultPlan::scripted(vec![(NodeId(7), 3 * 2048, Some(7 * 2048))])
+            } else {
+                FaultPlan::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        let events = workload(workload_ix);
+        let cut_ms = DURATION_MS * cut_permille / 1000;
+
+        let straight = format!("{:?}", run_experiment(&config, &events));
+        let mut session = RunSession::new(&config, &events);
+        session.run_to(SimTime::from_ms(cut_ms));
+        let bytes = session.checkpoint();
+        let resumed = RunSession::restore(&bytes, &config, &events)
+            .expect("own checkpoint restores")
+            .finish();
+        prop_assert_eq!(
+            format!("{:?}", resumed),
+            straight,
+            "resume from t={}ms (workload {}, faulty={}) diverged",
+            cut_ms,
+            workload_ix,
+            faulty
+        );
+    }
+}

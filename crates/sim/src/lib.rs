@@ -76,6 +76,7 @@ mod field;
 mod incoming;
 mod metrics;
 mod radio;
+mod snapshot;
 mod time;
 mod timeseries;
 mod topology;
@@ -90,6 +91,10 @@ pub use faults::{
 pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorField, UniformField};
 pub use metrics::{CompletenessReport, Metrics, MetricsSnapshot, QueryCompleteness};
 pub use radio::{Destination, MsgKind, RadioParams};
+pub use snapshot::{
+    Restorable, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotDocument, SnapshotError,
+    SECTION_RUNNER, SECTION_SIMULATOR, SNAPSHOT_MAGIC,
+};
 pub use time::SimTime;
 pub use timeseries::{
     gini, max_mean_ratio, NodeTimeseries, TimeseriesConfig, WindowRecorder, WindowStats,
