@@ -6,6 +6,12 @@
 //! scenario is printed, so perf regressions in the engine show up as a
 //! negative column rather than a silent drift.
 //!
+//! Every scenario runs with the per-phase profiler attached, so the report
+//! rows carry `*_wall_us` attribution and the table shows where engine time
+//! goes (deliver vs interference marking vs the rest). A separate
+//! profiler-overhead check re-runs one scenario with profiling off and
+//! asserts the profiled throughput is within 2% — the profiler's contract.
+//!
 //! `ENGINE_BENCH_SCALE=smoke` shrinks the simulated duration for CI smoke
 //! runs (the numbers still land in the report, labelled by the same scenario
 //! names).
@@ -14,6 +20,34 @@ use ttmqo_bench::{
     engine_microbench, parse_prior_report, print_table, twotier_bench, EngineBenchParams,
     EngineBenchResult, TwoTierBenchParams, ENGINE_REPORT_FILE,
 };
+use ttmqo_sim::ProfilePhase;
+
+/// A phase's share of the row's measured wall time, as a table cell.
+fn phase_pct(r: &EngineBenchResult, phase: ProfilePhase) -> String {
+    match &r.profile {
+        Some(profile) => {
+            let pct = profile.get(phase).wall_ns as f64 / (r.wall_s * 1e9).max(1.0) * 100.0;
+            format!("{pct:.1}%")
+        }
+        None => "-".to_string(),
+    }
+}
+
+/// Best-of-N events/sec with profiling off vs on, interleaved so scheduler
+/// and thermal drift hit both sides equally; returns the overhead percent.
+fn measure_overhead(probe: &EngineBenchParams, reps: usize) -> f64 {
+    let off_params = EngineBenchParams {
+        profiled: false,
+        ..probe.clone()
+    };
+    let mut off = 0f64;
+    let mut on = 0f64;
+    for _ in 0..reps {
+        off = off.max(engine_microbench(&off_params).events_per_sec);
+        on = on.max(engine_microbench(probe).events_per_sec);
+    }
+    100.0 * (1.0 - on / off)
+}
 
 fn main() {
     let smoke = std::env::var("ENGINE_BENCH_SCALE").as_deref() == Ok("smoke");
@@ -45,6 +79,9 @@ fn main() {
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
             delta,
+            phase_pct(&r, ProfilePhase::Deliver),
+            phase_pct(&r, ProfilePhase::InterferenceMark),
+            phase_pct(&r, ProfilePhase::Timer),
             r.stats.frame_slab_high_water.to_string(),
             r.stats.csma_capped_deferrals.to_string(),
             r.stats.csma_sorts_saved.to_string(),
@@ -67,11 +104,42 @@ fn main() {
             "events",
             "events/s",
             "vs prior",
+            "deliver%",
+            "interf%",
+            "timer%",
             "slab high-water",
             "csma caps",
             "sorts saved",
         ],
         &rows,
+    );
+
+    // Profiler-overhead gate: same scenario, interleaved best-of-3 with
+    // profiling off vs on. The profiled hot path is a register increment
+    // and a branch per event (one timestamp pair per SAMPLE_INTERVAL
+    // events); if that ever costs ≥2% of throughput the contract is broken
+    // and the smoke run should fail loudly. Wall-clock noise on a shared
+    // box swings single measurements by a couple percent either way, so a
+    // breach is re-measured up to twice before failing — a real regression
+    // breaches every attempt.
+    let probe = EngineBenchParams::default_scenarios(duration_ms)
+        .into_iter()
+        .find(|p| p.name == "flood-8x8-csma")
+        .expect("default scenario set has the 8x8 CSMA row");
+    let mut overhead_pct = f64::INFINITY;
+    for attempt in 1..=3 {
+        overhead_pct = overhead_pct.min(measure_overhead(&probe, 3));
+        eprintln!(
+            "profiler overhead on {} (attempt {attempt}): best so far {overhead_pct:+.2}%",
+            probe.name
+        );
+        if overhead_pct < 2.0 {
+            break;
+        }
+    }
+    assert!(
+        overhead_pct < 2.0,
+        "profiler overhead {overhead_pct:.2}% breaches the <2% budget on every attempt",
     );
 
     let report = lines.join("\n") + "\n";

@@ -15,8 +15,8 @@
 use std::time::Instant;
 use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
 use ttmqo_sim::{
-    ConstantField, Ctx, Destination, EngineStats, MsgKind, NodeApp, NodeId, RadioParams, SimConfig,
-    SimTime, Simulator, Topology,
+    ConstantField, Ctx, Destination, EngineStats, MsgKind, NodeApp, NodeId, ProfileHandle,
+    ProfilePhase, ProfileReport, RadioParams, SimConfig, SimTime, Simulator, Topology,
 };
 use ttmqo_workloads::workload_a;
 
@@ -38,6 +38,10 @@ pub struct EngineBenchParams {
     pub collisions: bool,
     /// Engine seed.
     pub seed: u64,
+    /// Whether the run attaches a [`ProfileHandle`] — the report then gains
+    /// the per-phase wall-time breakdown. Off for the overhead-comparison
+    /// baseline rows.
+    pub profiled: bool,
 }
 
 impl EngineBenchParams {
@@ -67,6 +71,7 @@ impl EngineBenchParams {
             payload_words: 8,
             collisions,
             seed: 0xE161E,
+            profiled: true,
         };
         vec![
             base("flood-4x4-csma", 4, true, duration_ms),
@@ -136,6 +141,8 @@ pub struct EngineBenchResult {
     pub delivered: u64,
     /// Engine slab/event counters at the end of the run.
     pub stats: EngineStats,
+    /// Per-phase wall-time attribution, when the run was profiled.
+    pub profile: Option<ProfileReport>,
 }
 
 /// The trivial traffic generator: every `interval_ms` each node broadcasts
@@ -221,6 +228,12 @@ pub fn engine_microbench(params: &EngineBenchParams) -> EngineBenchResult {
                 delivered: 0,
             }
         });
+    let profile = if params.profiled {
+        ProfileHandle::enabled()
+    } else {
+        ProfileHandle::disabled()
+    };
+    sim.set_profile(profile.clone());
     let start = Instant::now();
     sim.run_until(SimTime::from_ms(params.duration_ms));
     let wall_s = start.elapsed().as_secs_f64();
@@ -241,6 +254,7 @@ pub fn engine_microbench(params: &EngineBenchParams) -> EngineBenchResult {
         tx_frames: sim.metrics().tx_count_total(),
         delivered,
         stats,
+        profile: profile.report(),
     }
 }
 
@@ -256,6 +270,7 @@ pub fn twotier_bench(params: &TwoTierBenchParams) -> EngineBenchResult {
         grid_n: params.grid_n,
         duration: SimTime::from_ms(params.duration_ms),
         topology_override: Some(topo),
+        profile: ProfileHandle::enabled(),
         ..ExperimentConfig::default()
     };
     let start = Instant::now();
@@ -280,19 +295,23 @@ pub fn twotier_bench(params: &TwoTierBenchParams) -> EngineBenchResult {
         tx_frames: report.metrics.tx_count_total(),
         delivered,
         stats: report.engine,
+        profile: report.profile,
     }
 }
 
 impl EngineBenchResult {
-    /// One JSON object (one line of `BENCH_engine.json`).
+    /// One JSON object (one line of `BENCH_engine.json`). Profiled rows gain
+    /// trailing per-phase wall-time fields (`timer_wall_us` …
+    /// `interference_wall_us`), which the report-diff gate treats as
+    /// lower-is-better timing fields like `wall_s`.
     pub fn to_json(&self) -> String {
         let s = &self.stats;
-        format!(
+        let mut out = format!(
             "{{\"schema_version\":{},\"name\":\"{}\",\"grid_n\":{},\"duration_ms\":{},\"wall_s\":{:.6},\
              \"topo_build_s\":{:.6},\
              \"events\":{},\"events_per_sec\":{:.1},\"tx_frames\":{},\"delivered\":{},\
              \"frames_total\":{},\"slab_len\":{},\"slab_high_water\":{},\
-             \"frames_in_flight\":{},\"csma_capped_deferrals\":{},\"csma_sorts_saved\":{}}}",
+             \"frames_in_flight\":{},\"csma_capped_deferrals\":{},\"csma_sorts_saved\":{}",
             ttmqo_sim::SCHEMA_VERSION,
             self.name,
             self.grid_n,
@@ -309,7 +328,22 @@ impl EngineBenchResult {
             s.frames_in_flight,
             s.csma_capped_deferrals,
             s.csma_sorts_saved,
-        )
+        );
+        if let Some(profile) = &self.profile {
+            for (key, phase) in [
+                ("timer_wall_us", ProfilePhase::Timer),
+                ("deliver_wall_us", ProfilePhase::Deliver),
+                ("command_wall_us", ProfilePhase::Command),
+                ("maintenance_wall_us", ProfilePhase::Maintenance),
+                ("fault_wall_us", ProfilePhase::Fault),
+                ("csma_wall_us", ProfilePhase::CsmaSense),
+                ("interference_wall_us", ProfilePhase::InterferenceMark),
+            ] {
+                out.push_str(&format!(",\"{key}\":{}", profile.get(phase).wall_us()));
+            }
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -362,6 +396,7 @@ mod tests {
             payload_words: 8,
             collisions: true,
             seed: 7,
+            profiled: true,
         }
     }
 
@@ -406,6 +441,37 @@ mod tests {
         assert_eq!(a.tx_frames, b.tx_frames);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.stats.frame_slab_high_water, b.stats.frame_slab_high_water);
+    }
+
+    #[test]
+    fn profiling_changes_no_counts_and_adds_phase_fields() {
+        let on = engine_microbench(&tiny());
+        let off = engine_microbench(&EngineBenchParams {
+            profiled: false,
+            ..tiny()
+        });
+        // The profiler is pure observation: event-for-event identical runs.
+        assert_eq!(on.events, off.events);
+        assert_eq!(on.tx_frames, off.tx_frames);
+        assert_eq!(on.delivered, off.delivered);
+        assert_eq!(on.stats, off.stats);
+        // The profiled row carries a report whose event attribution matches
+        // the engine's own counters; the unprofiled row carries none.
+        let profile = on.profile.as_ref().expect("profiled run has a report");
+        let attributed: u64 = [
+            ProfilePhase::Timer,
+            ProfilePhase::Deliver,
+            ProfilePhase::Command,
+            ProfilePhase::Maintenance,
+            ProfilePhase::Fault,
+        ]
+        .into_iter()
+        .map(|p| profile.get(p).events)
+        .sum();
+        assert_eq!(attributed, on.events);
+        assert!(off.profile.is_none());
+        assert!(on.to_json().contains("\"deliver_wall_us\":"));
+        assert!(!off.to_json().contains("deliver_wall_us"));
     }
 
     #[test]

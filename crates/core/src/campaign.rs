@@ -59,8 +59,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use ttmqo_sim::{
-    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, SimTime,
-    TraceHandle, SCHEMA_VERSION,
+    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, ProfileHandle,
+    SimTime, TraceHandle, SCHEMA_VERSION,
 };
 
 /// A named workload inside a campaign.
@@ -115,6 +115,13 @@ pub struct CampaignSpec {
     /// named in the record's `timeseries_file`. `None` (the default) leaves
     /// the base config's setting untouched.
     pub timeseries_dir: Option<PathBuf>,
+    /// Opt-in per-cell phase profiling: when set, every cell runs with a
+    /// [`ProfileHandle`] attached and writes its [`ttmqo_sim::ProfileReport`]
+    /// to `<dir>/profile-<index>-<workload>-<strategy>-<grid_n>-<fault>.json`,
+    /// named in the record's `profile_file`. Profiling never changes
+    /// simulation behaviour (cells stay bit-identical), only the wall-clock
+    /// attribution recorded alongside. `None` (the default) profiles nothing.
+    pub profile_dir: Option<PathBuf>,
     /// Opt-in warm-started execution: cells that share every coordinate
     /// except the workload (same strategy, grid size, field seed and fault
     /// plan) also share their common prefix — topology build, SRT
@@ -127,8 +134,9 @@ pub struct CampaignSpec {
     /// resumes from the checkpoint instead of re-simulating it. Restored
     /// runs are bit-identical to cold runs, so every record field except
     /// `wall_clock_ms` is unchanged. Ignored (cells run cold) when
-    /// [`CampaignSpec::trace_dir`] is set, because a resumed cell's trace
-    /// file would be missing the shared prefix's events.
+    /// [`CampaignSpec::trace_dir`] or [`CampaignSpec::profile_dir`] is set,
+    /// because a resumed cell's trace file (or profile attribution) would be
+    /// missing the shared prefix's events.
     pub warm_start: bool,
 }
 
@@ -148,6 +156,7 @@ impl CampaignSpec {
             workloads: Vec::new(),
             trace_dir: None,
             timeseries_dir: None,
+            profile_dir: None,
             warm_start: false,
             base,
         }
@@ -194,6 +203,13 @@ impl CampaignSpec {
     /// demand). See [`CampaignSpec::timeseries_dir`] for the naming scheme.
     pub fn timeseries_output(mut self, dir: impl Into<PathBuf>) -> Self {
         self.timeseries_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables per-cell phase profiling output under `dir` (created on
+    /// demand). See [`CampaignSpec::profile_dir`] for the naming scheme.
+    pub fn profile_output(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.profile_dir = Some(dir.into());
         self
     }
 
@@ -377,6 +393,9 @@ pub struct CellRecord {
     /// File name (relative to [`CampaignSpec::timeseries_dir`]) of this
     /// cell's timeseries JSON, when the campaign ran with timeseries output.
     pub timeseries_file: Option<String>,
+    /// File name (relative to [`CampaignSpec::profile_dir`]) of this cell's
+    /// phase-profile JSON, when the campaign ran with profiling enabled.
+    pub profile_file: Option<String>,
 }
 
 impl CellRecord {
@@ -414,9 +433,11 @@ impl CellRecord {
     /// trace JSONL format and the `BENCH_*.json` reports). `optimizer` is
     /// `null` for strategies without the base-station tier. A trailing
     /// `"trace_file":"trace-0-....jsonl"` field is present only when the
-    /// campaign ran with [`CampaignSpec::trace_output`], and a trailing
+    /// campaign ran with [`CampaignSpec::trace_output`], a trailing
     /// `"timeseries_file":"timeseries-0-....json"` only with
-    /// [`CampaignSpec::timeseries_output`].
+    /// [`CampaignSpec::timeseries_output`], and a trailing
+    /// `"profile_file":"profile-0-....json"` only with
+    /// [`CampaignSpec::profile_output`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -606,6 +627,10 @@ impl CellRecord {
             out.push(',');
             json_str(&mut out, "timeseries_file", name);
         }
+        if let Some(name) = &self.profile_file {
+            out.push(',');
+            json_str(&mut out, "profile_file", name);
+        }
         out.push('}');
         out
     }
@@ -707,6 +732,9 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
         config.trace = TraceHandle::new(sink);
         Some(name)
     });
+    if spec.profile_dir.is_some() {
+        config.profile = ProfileHandle::enabled();
+    }
     let start = Instant::now();
     let report = match prefix {
         Some(bytes) => RunSession::restore(bytes, &config, &workload.events)
@@ -733,6 +761,23 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
             std::fs::write(dir.join(&name), ts.to_json()).ok()?;
             Some(name)
         });
+    let profile_file = spec
+        .profile_dir
+        .as_ref()
+        .zip(report.profile.as_ref())
+        .and_then(|(dir, profile)| {
+            let name = format!(
+                "profile-{}-{}-{}-{}-{}.json",
+                cell.index,
+                slug(&workload.name),
+                cell.strategy,
+                cell.grid_n,
+                slug(&fault.name),
+            );
+            std::fs::create_dir_all(dir).ok()?;
+            std::fs::write(dir.join(&name), profile.to_json()).ok()?;
+            Some(name)
+        });
     CellRecord {
         workload: workload.name.clone(),
         strategy: cell.strategy,
@@ -753,6 +798,7 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
         energy_mj: report.energy_mj,
         max_node_energy_mj: report.max_node_energy_mj,
         timeseries_file,
+        profile_file,
     }
 }
 
@@ -781,9 +827,10 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
     let threads = threads.clamp(1, cells.len().max(1));
     // Warm start: one checkpointed prefix per (strategy, grid, seed, fault)
     // group, shared by that group's cells across the workload axis. Traced
-    // campaigns run cold — a resumed cell's trace would lack the prefix.
+    // and profiled campaigns run cold — a resumed cell's trace (or profile
+    // attribution) would lack the prefix.
     let prefixes: Option<BTreeMap<GroupKey, Vec<u8>>> =
-        (spec.warm_start && spec.trace_dir.is_none()).then(|| {
+        (spec.warm_start && spec.trace_dir.is_none() && spec.profile_dir.is_none()).then(|| {
             let (prefix_events, t0) = spec.warm_prefix();
             let mut map = BTreeMap::new();
             for cell in &cells {
@@ -1048,6 +1095,33 @@ mod tests {
         let jsonl = report.to_jsonl();
         assert!(jsonl.contains("\"timeseries_file\":\"timeseries-0-tiny-baseline-3-none.json\""));
         assert!(jsonl.contains("\"timeseries_file\":\"timeseries-1-tiny-two-tier-3-none.json\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_output_writes_one_file_per_cell() {
+        let dir = std::env::temp_dir().join(format!("ttmqo-prof-campaign-{}", std::process::id()));
+        let spec = tiny_spec().profile_output(&dir);
+        let report = run_campaign_sequential(&spec);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let name = cell.profile_file.as_ref().expect("profile file written");
+            let text = std::fs::read_to_string(dir.join(name)).expect("file readable");
+            assert!(text.starts_with("{\"schema_version\":"));
+            assert!(text.contains("\"phases\":["));
+            assert!(text.contains("\"name\":\"deliver\""));
+        }
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"profile_file\":\"profile-0-tiny-baseline-3-none.json\""));
+        assert!(jsonl.contains("\"profile_file\":\"profile-1-tiny-two-tier-3-none.json\""));
+        // Profiling must not perturb behaviour: an unprofiled run of the
+        // same spec agrees on every deterministic field.
+        let plain = run_campaign_sequential(&tiny_spec());
+        for (p, c) in plain.cells.iter().zip(&report.cells) {
+            assert_eq!(p.metrics, c.metrics);
+            assert_eq!(p.engine, c.engine);
+            assert_eq!(p.completeness, c.completeness);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,10 +21,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
     CompletenessReport, CorrelatedField, EngineStats, FaultPlan, FaultSchedule, Metrics, NodeId,
-    NodeTimeseries, QueryCompleteness, RadioParams, Restorable, SensorField, SimConfig, SimTime,
-    Simulator, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotDocument, SnapshotError,
-    TimeseriesConfig, Topology, TraceEvent, TraceHandle, UniformField, WindowRecorder,
-    SECTION_RUNNER, SECTION_SIMULATOR,
+    NodeTimeseries, ProfileHandle, ProfilePhase, ProfileReport, QueryCompleteness, RadioParams,
+    Restorable, SensorField, SimConfig, SimTime, Simulator, SnapReader, SnapWriter, Snapshot,
+    SnapshotBuilder, SnapshotDocument, SnapshotError, TimeseriesConfig, Topology, TraceEvent,
+    TraceHandle, UniformField, WindowRecorder, SECTION_RUNNER, SECTION_SIMULATOR,
 };
 use ttmqo_stats::{EmpiricalDistribution, Histogram, LevelStats, SelectivityEstimator};
 use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
@@ -165,6 +165,13 @@ pub struct ExperimentConfig {
     /// `Some` fills [`RunReport::timeseries`] and selects the energy profile
     /// used for the report's energy fields.
     pub timeseries: Option<TimeseriesConfig>,
+    /// Per-phase profiling handle, shared with the engine. The default
+    /// disabled handle costs one branch per site; enabled, it attributes
+    /// wall-clock time to engine and runner phases and fills
+    /// [`RunReport::profile`] — without drawing RNG or branching on
+    /// simulated state, so the run stays bit-identical either way (the
+    /// `trace` contract).
+    pub profile: ProfileHandle,
 }
 
 impl Default for ExperimentConfig {
@@ -185,6 +192,7 @@ impl Default for ExperimentConfig {
             faults: FaultPlan::default(),
             trace: TraceHandle::disabled(),
             timeseries: None,
+            profile: ProfileHandle::disabled(),
         }
     }
 }
@@ -220,6 +228,10 @@ pub struct RunReport {
     /// Windowed time-series; `Some` iff [`ExperimentConfig::timeseries`]
     /// was set.
     pub timeseries: Option<RunTimeseries>,
+    /// Per-phase wall-time attribution; `Some` iff
+    /// [`ExperimentConfig::profile`] was enabled. Wall-clock derived and
+    /// therefore machine-dependent — excluded from determinism comparisons.
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunReport {
@@ -819,6 +831,10 @@ impl SimKind {
         with_sim!(self, s => s.set_trace(trace))
     }
 
+    fn set_profile(&mut self, profile: ProfileHandle) {
+        with_sim!(self, s => s.set_profile(profile))
+    }
+
     fn now(&self) -> SimTime {
         with_sim!(self, s => s.now())
     }
@@ -912,10 +928,12 @@ impl RunSession {
     ///
     /// Panics if the grid cannot be constructed (e.g. `grid_n == 0`).
     pub fn new(config: &ExperimentConfig, workload: &[WorkloadEvent]) -> RunSession {
+        let topo_t0 = config.profile.start();
         let topo = config
             .topology_override
             .clone()
             .unwrap_or_else(|| Topology::grid(config.grid_n).expect("valid experiment grid"));
+        config.profile.finish(ProfilePhase::TopologyBuild, topo_t0);
         let events = Self::prepare_events(config, workload);
         let sim = if config.strategy.uses_innetwork_tier() {
             let field = build_field(config, &topo);
@@ -928,6 +946,7 @@ impl RunSession {
                 move |_, _| TtmqoApp::new(innetwork.clone()),
             );
             sim.set_trace(config.trace.clone());
+            sim.set_profile(config.profile.clone());
             sim.set_timeseries(
                 config
                     .timeseries
@@ -946,6 +965,7 @@ impl RunSession {
                 |_, _| TinyDbApp::new(TinyDbConfig::default()),
             );
             sim.set_trace(config.trace.clone());
+            sim.set_profile(config.profile.clone());
             sim.set_timeseries(
                 config
                     .timeseries
@@ -1028,6 +1048,7 @@ impl RunSession {
 
     /// Drains pending network outputs into the answer/statistics state.
     fn ingest(&mut self) {
+        let t0 = self.config.profile.start();
         let fresh = self.sim.take_outputs();
         ingest_outputs(
             fresh,
@@ -1041,6 +1062,7 @@ impl RunSession {
             self.ts_collector.as_mut(),
             &self.config.trace,
         );
+        self.config.profile.finish(ProfilePhase::AnswerMapping, t0);
     }
 
     /// Folds the time-weighted statistics over `[last_t, t_ms)`. Called only
@@ -1089,7 +1111,9 @@ impl RunSession {
                 self.weighted_ratio += self.current_ratio * dt;
                 self.last_t = b;
                 opt.set_trace_time(b);
+                let t0 = self.config.profile.start();
                 let ops = opt.reoptimize(syn);
+                self.config.profile.finish(ProfilePhase::Reoptimize, t0);
                 for op in ops {
                     let cmd = match op {
                         NetworkOp::Inject(q) => Command::Pose(q),
@@ -1131,8 +1155,14 @@ impl RunSession {
                     mon.note_posed(&q, t.as_ms());
                 }
                 opt.set_trace_time(t.as_ms());
-                opt.insert(q)
-                    .expect("workload ids are unique and unreserved")
+                let t0 = self.config.profile.start();
+                let ops = opt
+                    .insert(q)
+                    .expect("workload ids are unique and unreserved");
+                self.config
+                    .profile
+                    .finish(ProfilePhase::AdmissionScoring, t0);
+                ops
             }
             (Some(opt), WorkloadAction::Terminate(qid)) => {
                 self.live_users.remove(&qid);
@@ -1353,12 +1383,14 @@ impl RunSession {
             energy_mj,
             max_node_energy_mj,
             timeseries,
+            profile: self.config.profile.report(),
         }
     }
 
     /// Serializes the complete run state — engine section plus runner
     /// section — into one versioned snapshot document.
     pub fn checkpoint(&self) -> Vec<u8> {
+        let t0 = self.config.profile.start();
         let mut sw = SnapWriter::new();
         self.sim.write_snapshot(&mut sw);
         let mut rw = SnapWriter::new();
@@ -1366,7 +1398,9 @@ impl RunSession {
         let mut b = SnapshotBuilder::new();
         b.section(SECTION_SIMULATOR, sw.as_bytes());
         b.section(SECTION_RUNNER, rw.as_bytes());
-        b.finish()
+        let bytes = b.finish();
+        self.config.profile.finish(ProfilePhase::SnapshotSave, t0);
+        bytes
     }
 
     /// Serializes the runner-side state. Deliberately NOT serialized:
@@ -1442,6 +1476,7 @@ impl RunSession {
         config: &ExperimentConfig,
         workload: &[WorkloadEvent],
     ) -> Result<RunSession, SnapshotError> {
+        let restore_t0 = config.profile.start();
         let doc = SnapshotDocument::parse(bytes)?;
         let topo = config
             .topology_override
@@ -1482,6 +1517,7 @@ impl RunSession {
         };
         s.finish()?;
         sim.set_trace(config.trace.clone());
+        sim.set_profile(config.profile.clone());
 
         let event_idx = r.usize()?;
         let audited_to = r.u64()?;
@@ -1523,6 +1559,9 @@ impl RunSession {
         let window_ms = (topo.max_level() as u64 + 1) * config.innetwork.slot_ms
             + config.innetwork.jitter_ms
             + 32;
+        config
+            .profile
+            .finish(ProfilePhase::SnapshotRestore, restore_t0);
         Ok(RunSession {
             config: config.clone(),
             topo,

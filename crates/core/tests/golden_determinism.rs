@@ -13,7 +13,10 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use ttmqo_core::{run_experiment, ExperimentConfig, Strategy};
-use ttmqo_sim::{MetricsSnapshot, RingSink, SimTime, TimeseriesConfig, TraceHandle, TraceSink};
+use ttmqo_sim::{
+    JsonLinesSink, MetricsSnapshot, ProfileHandle, ProfilePhase, RingSink, SimTime,
+    TimeseriesConfig, TraceHandle, TraceSink,
+};
 use ttmqo_workloads::workload_a;
 
 const GOLDEN_PATH: &str = concat!(
@@ -170,6 +173,93 @@ fn tracing_leaves_the_golden_cell_untouched() {
     assert!(
         !ring.lock().unwrap().is_empty(),
         "the traced run actually recorded events"
+    );
+}
+
+/// Shared growable byte buffer usable as a `JsonLinesSink` writer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().write(b)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn profiling_leaves_the_golden_cell_untouched() {
+    // The profiler's determinism contract, pinned at full observability:
+    // the golden cell run with profiling on AND a live trace sink must
+    // produce a RunReport (profile field aside — it is wall-clock derived)
+    // and a JSONL trace byte-identical to the profiler-off run. Profiling
+    // reads timestamps but never draws from the simulation RNG and never
+    // branches on simulated state.
+    let run = |profile: ProfileHandle| {
+        let buf = SharedBuf::default();
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(24 * 2048),
+            trace: TraceHandle::new(JsonLinesSink::new(buf.clone()).unwrap()),
+            profile,
+            ..ExperimentConfig::default()
+        };
+        let mut report = run_experiment(&config, &workload_a());
+        config.trace.flush();
+        let profile_report = report.profile.take();
+        let trace = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        (format!("{report:?}"), trace, profile_report)
+    };
+
+    let off = run(ProfileHandle::disabled());
+    let on = run(ProfileHandle::enabled());
+
+    assert_eq!(off.0, on.0, "RunReport diverged under profiling");
+    assert_eq!(off.1, on.1, "JSONL trace diverged under profiling");
+    assert!(off.2.is_none(), "disabled run must not carry a profile");
+    assert!(on.2.is_some(), "enabled run carries a profile");
+}
+
+#[test]
+fn profile_report_reconciles_with_engine_stats() {
+    // The profiler's counts are exact, not sampled: each engine phase's
+    // event count must equal the corresponding EngineStats counter, and
+    // the engine-phase wall attribution cannot exceed the measured wall
+    // time of the whole experiment.
+    let config = ExperimentConfig {
+        strategy: Strategy::TwoTier,
+        grid_n: 4,
+        duration: SimTime::from_ms(24 * 2048),
+        profile: ProfileHandle::enabled(),
+        ..ExperimentConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = run_experiment(&config, &workload_a());
+    let total_wall_ns = start.elapsed().as_nanos() as u64;
+
+    let profile = report.profile.as_ref().expect("profiling was enabled");
+    for (phase, expected) in [
+        (ProfilePhase::Timer, report.engine.timer_events),
+        (ProfilePhase::Deliver, report.engine.deliver_events),
+        (ProfilePhase::Command, report.engine.command_events),
+        (ProfilePhase::Maintenance, report.engine.maintenance_events),
+        (ProfilePhase::Fault, report.engine.fault_events),
+    ] {
+        assert_eq!(
+            profile.get(phase).events,
+            expected,
+            "{} count must match EngineStats exactly",
+            phase.name()
+        );
+    }
+    assert!(
+        profile.engine_event_wall_ns() <= total_wall_ns,
+        "attributed engine wall time ({} ns) cannot exceed the whole \
+         experiment's wall time ({total_wall_ns} ns)",
+        profile.engine_event_wall_ns()
     );
 }
 

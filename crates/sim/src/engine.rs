@@ -54,6 +54,8 @@ use crate::faults::{FaultOverlay, FaultPlan};
 use crate::field::SensorField;
 use crate::incoming::{IncomingArena, IncomingFrame};
 use crate::metrics::Metrics;
+use crate::profile;
+use crate::profile::{EnginePhase, ProfileHandle, ProfilePhase, ProfileScratch};
 use crate::radio::{Destination, MsgKind, RadioParams};
 use crate::time::SimTime;
 use crate::timeseries::WindowRecorder;
@@ -455,6 +457,13 @@ pub struct Simulator<A: NodeApp> {
     /// and keeps runs bit-for-bit identical; enabled recording never draws
     /// RNG either, so it holds both ways (the `TraceHandle` contract).
     timeseries: Option<Box<WindowRecorder>>,
+    /// Profiling handle shared with the runner; disabled by default. Like
+    /// tracing, profiling never draws RNG or branches on simulated state,
+    /// so runs are bit-identical either way.
+    profile: ProfileHandle,
+    /// Lock-free per-run profiling accumulator, present iff `profile` is
+    /// enabled; flushed into the handle once per `run_until` call.
+    profile_scratch: Option<Box<ProfileScratch>>,
     now_us: u64,
     seq: u64,
     rng_state: u64,
@@ -464,9 +473,13 @@ pub struct Simulator<A: NodeApp> {
     slab_high_water: usize,
     csma_capped: u64,
     csma_sorts_saved: u64,
-    /// Per-phase event counters (timers, deliveries, commands, maintenance,
-    /// faults) — the breakdown behind `events_processed`.
-    phase_events: [u64; 5],
+    /// Per-phase event counters indexed by [`EnginePhase::index`] — the
+    /// breakdown behind `events_processed`.
+    phase_events: [u64; EnginePhase::COUNT],
+    /// Watermark of `phase_events` already credited to the profiler, so the
+    /// hot loop never increments a profiler counter per event: the delta is
+    /// credited in bulk when the scratch is flushed.
+    profile_credited: [u64; EnginePhase::COUNT],
 }
 
 impl<A: NodeApp> Simulator<A> {
@@ -500,6 +513,8 @@ impl<A: NodeApp> Simulator<A> {
             faults: None,
             trace: TraceHandle::disabled(),
             timeseries: None,
+            profile: ProfileHandle::disabled(),
+            profile_scratch: None,
             now_us: 0,
             seq: 0,
             rng_state,
@@ -509,7 +524,8 @@ impl<A: NodeApp> Simulator<A> {
             slab_high_water: 0,
             csma_capped: 0,
             csma_sorts_saved: 0,
-            phase_events: [0; 5],
+            phase_events: [0; EnginePhase::COUNT],
+            profile_credited: [0; EnginePhase::COUNT],
             topology,
             radio,
             config,
@@ -538,11 +554,11 @@ impl<A: NodeApp> Simulator<A> {
             frames_in_flight: self.frames.len() - self.free_frames.len(),
             csma_capped_deferrals: self.csma_capped,
             csma_sorts_saved: self.csma_sorts_saved,
-            timer_events: self.phase_events[0],
-            deliver_events: self.phase_events[1],
-            command_events: self.phase_events[2],
-            maintenance_events: self.phase_events[3],
-            fault_events: self.phase_events[4],
+            timer_events: self.phase_events[EnginePhase::Timer.index()],
+            deliver_events: self.phase_events[EnginePhase::Deliver.index()],
+            command_events: self.phase_events[EnginePhase::Command.index()],
+            maintenance_events: self.phase_events[EnginePhase::Maintenance.index()],
+            fault_events: self.phase_events[EnginePhase::Fault.index()],
         }
     }
 
@@ -554,6 +570,21 @@ impl<A: NodeApp> Simulator<A> {
     /// enabled sinks too).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Attaches (or detaches, with [`ProfileHandle::disabled`]) the
+    /// profiling handle. The engine attributes each processed event's wall
+    /// time to its [`EnginePhase`] (one clock read per event into a
+    /// lock-free scratch, flushed per `run_until` call) plus nested
+    /// CSMA-sense and interference-marking sub-spans. Profiling never draws
+    /// from the simulation RNG and never branches on simulated state, so
+    /// runs are bit-for-bit identical with or without it.
+    pub fn set_profile(&mut self, profile: ProfileHandle) {
+        self.profile_scratch = profile.scratch();
+        // Events processed before the profiler attached are not its to
+        // count: start crediting from the current watermark.
+        self.profile_credited = self.phase_events;
+        self.profile = profile;
     }
 
     /// Installs (or removes, with `None`) a windowed time-series recorder.
@@ -705,6 +736,17 @@ impl<A: NodeApp> Simulator<A> {
                 }
             }
         }
+        // Detach the profiler's sampling cursor into a local so the
+        // unsampled per-event path is a register increment and a branch
+        // rather than a read-modify-write through the scratch box. Every
+        // SAMPLE_INTERVAL-th event is bracketed with a timestamp pair and
+        // the report extrapolates wall time from the sample; exact event
+        // counts are credited from `phase_events` after the loop (see the
+        // profile module's overhead budget).
+        let mut prof_seen = self
+            .profile_scratch
+            .as_deref()
+            .map(ProfileScratch::take_seen);
         while let Some((time_us, _)) = self.queue.peek() {
             if time_us > end_us {
                 break;
@@ -712,80 +754,91 @@ impl<A: NodeApp> Simulator<A> {
             let (time_us, _, kind) = self.queue.pop().expect("peeked event exists");
             self.now_us = time_us;
             self.events_processed += 1;
-            match kind {
-                EventKind::Timer { node, key } => {
-                    self.phase_events[0] += 1;
-                    if !self.failed[node.index()] {
-                        self.dispatch_callback(node, Callback::Timer(key));
-                    }
+            let t0 = prof_seen.as_mut().and_then(profile::sample_event);
+            let phase = self.process_event(kind);
+            self.phase_events[phase.index()] += 1;
+            if let Some(t0) = t0 {
+                if let Some(scratch) = self.profile_scratch.as_deref_mut() {
+                    scratch.event_end(ProfilePhase::from(phase), t0);
                 }
-                EventKind::Command { node, cmd } => {
-                    self.phase_events[2] += 1;
-                    if !self.failed[node.index()] {
-                        self.dispatch_callback(node, Callback::Command(cmd));
-                    }
+            }
+        }
+        if let Some(scratch) = self.profile_scratch.as_deref_mut() {
+            if let Some(seen) = prof_seen {
+                scratch.store_seen(seen);
+            }
+            for p in EnginePhase::ALL {
+                let i = p.index();
+                scratch.credit(
+                    ProfilePhase::from(p),
+                    self.phase_events[i] - self.profile_credited[i],
+                );
+                self.profile_credited[i] = self.phase_events[i];
+            }
+            self.profile.absorb(scratch);
+        }
+        self.now_us = end_us;
+        self.metrics.set_horizon(t_end);
+    }
+
+    /// Handles one popped event, returning the [`EnginePhase`] it belongs
+    /// to. The match is exhaustive and every arm names its phase, so a new
+    /// event kind cannot ship uncounted (and unprofiled).
+    fn process_event(&mut self, kind: EventKind<A::Command>) -> EnginePhase {
+        match kind {
+            EventKind::Timer { node, key } => {
+                if !self.failed[node.index()] {
+                    self.dispatch_callback(node, Callback::Timer(key));
                 }
-                EventKind::Deliver { frame } => {
-                    self.phase_events[1] += 1;
-                    self.handle_delivery(frame);
+                EnginePhase::Timer
+            }
+            EventKind::Command { node, cmd } => {
+                if !self.failed[node.index()] {
+                    self.dispatch_callback(node, Callback::Command(cmd));
                 }
-                EventKind::Fail { node } => {
-                    self.phase_events[4] += 1;
+                EnginePhase::Command
+            }
+            EventKind::Deliver { frame } => {
+                self.handle_delivery(frame);
+                EnginePhase::Deliver
+            }
+            EventKind::Fail { node } => {
+                if self.trace.is_enabled() {
+                    self.trace
+                        .emit(self.now_us, TraceEvent::FaultCrash { node });
+                }
+                self.failed[node.index()] = true;
+                // A crash ends any ongoing nap; retract the unspent part
+                // that was credited in full when the nap was planned, as
+                // `Action::Wake` does. (A failed node draws no power, so
+                // leaving the unspent nap credited would overstate sleep
+                // time and understate idle-listening energy after
+                // recovery.)
+                let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
+                self.metrics
+                    .record_sleep(node.index(), -(pending as f64) / 1000.0);
+                if let Some(ts) = self.timeseries.as_deref_mut() {
+                    ts.record_sleep(self.now_us, node.index(), -(pending as f64) / 1000.0);
+                }
+                self.sleep_until_us[node.index()] = 0;
+                EnginePhase::Fault
+            }
+            EventKind::Recover { node } => {
+                if self.failed[node.index()] {
                     if self.trace.is_enabled() {
                         self.trace
-                            .emit(self.now_us, TraceEvent::FaultCrash { node });
+                            .emit(self.now_us, TraceEvent::FaultRecover { node });
                     }
-                    self.failed[node.index()] = true;
-                    // A crash ends any ongoing nap; retract the unspent part
-                    // that was credited in full when the nap was planned, as
-                    // `Action::Wake` does. (A failed node draws no power, so
-                    // leaving the unspent nap credited would overstate sleep
-                    // time and understate idle-listening energy after
-                    // recovery.)
-                    let pending = self.sleep_until_us[node.index()].saturating_sub(self.now_us);
-                    self.metrics
-                        .record_sleep(node.index(), -(pending as f64) / 1000.0);
-                    if let Some(ts) = self.timeseries.as_deref_mut() {
-                        ts.record_sleep(self.now_us, node.index(), -(pending as f64) / 1000.0);
-                    }
-                    self.sleep_until_us[node.index()] = 0;
+                    self.failed[node.index()] = false;
+                    self.tx_ready_at_us[node.index()] = self.now_us;
+                    self.nodes[node.index()] = (self.factory)(node, &self.topology);
+                    self.dispatch_callback(node, Callback::Start);
                 }
-                EventKind::Recover { node } => {
-                    self.phase_events[4] += 1;
-                    if self.failed[node.index()] {
-                        if self.trace.is_enabled() {
-                            self.trace
-                                .emit(self.now_us, TraceEvent::FaultRecover { node });
-                        }
-                        self.failed[node.index()] = false;
-                        self.tx_ready_at_us[node.index()] = self.now_us;
-                        self.nodes[node.index()] = (self.factory)(node, &self.topology);
-                        self.dispatch_callback(node, Callback::Start);
-                    }
-                }
-                EventKind::Maintenance { node } => {
-                    self.phase_events[3] += 1;
-                    if self.failed[node.index()] {
-                        // A dead node beacons nothing; re-arm for later.
-                        let interval = self
-                            .config
-                            .maintenance_interval_ms
-                            .expect("maintenance enabled");
-                        self.push_event(
-                            self.now_us + interval * 1000,
-                            EventKind::Maintenance { node },
-                        );
-                        continue;
-                    }
-                    self.transmit(
-                        node,
-                        Destination::Broadcast,
-                        MsgKind::Maintenance,
-                        self.config.maintenance_bytes,
-                        None,
-                        self.now_us,
-                        0,
-                    );
+                EnginePhase::Fault
+            }
+            EventKind::Maintenance { node } => {
+                if self.failed[node.index()] {
+                    // A dead node beacons nothing; re-arm for later.
                     let interval = self
                         .config
                         .maintenance_interval_ms
@@ -794,11 +847,28 @@ impl<A: NodeApp> Simulator<A> {
                         self.now_us + interval * 1000,
                         EventKind::Maintenance { node },
                     );
+                    return EnginePhase::Maintenance;
                 }
+                self.transmit(
+                    node,
+                    Destination::Broadcast,
+                    MsgKind::Maintenance,
+                    self.config.maintenance_bytes,
+                    None,
+                    self.now_us,
+                    0,
+                );
+                let interval = self
+                    .config
+                    .maintenance_interval_ms
+                    .expect("maintenance enabled");
+                self.push_event(
+                    self.now_us + interval * 1000,
+                    EventKind::Maintenance { node },
+                );
+                EnginePhase::Maintenance
             }
         }
-        self.now_us = end_us;
-        self.metrics.set_horizon(t_end);
     }
 
     fn dispatch_callback(&mut self, node: NodeId, cb: Callback<A::Command, A::Payload>) {
@@ -922,6 +992,14 @@ impl<A: NodeApp> Simulator<A> {
         let dur_us = (self.radio.tx_time_ms(payload_bytes) * 1000.0).round() as u64;
         let mut start_us = earliest_us.max(self.tx_ready_at_us[src.index()]);
         if self.radio.collisions {
+            // Nested profiling sub-span: this time also stays inside the
+            // enclosing event's slice (the profiler's delta scheme), so the
+            // two must not be summed. Sampled — only every SPAN_SAMPLE-th
+            // occurrence reads a timestamp.
+            let csma_t0 = self
+                .profile_scratch
+                .as_deref_mut()
+                .and_then(|s| s.span_begin(ProfilePhase::CsmaSense));
             // CSMA: carrier-sense at the sender — defer past any frame
             // currently audible here, plus a short random inter-frame gap.
             // Hidden terminals (senders out of each other's range colliding
@@ -963,6 +1041,9 @@ impl<A: NodeApp> Simulator<A> {
                         capped: deferrals >= cap,
                     },
                 );
+            }
+            if let (Some(t0), Some(scratch)) = (csma_t0, self.profile_scratch.as_deref_mut()) {
+                scratch.span_end(ProfilePhase::CsmaSense, t0);
             }
         }
         let end_us = start_us + dur_us;
@@ -1008,6 +1089,10 @@ impl<A: NodeApp> Simulator<A> {
         // in place (no copy) while the interference state mutates.
         let fanout = self.topology.neighbors(src).len();
         if self.radio.collisions {
+            let mark_t0 = self
+                .profile_scratch
+                .as_deref_mut()
+                .and_then(|s| s.span_begin(ProfilePhase::InterferenceMark));
             let frames = &mut self.frames;
             let entry = IncomingFrame {
                 start_us,
@@ -1031,6 +1116,9 @@ impl<A: NodeApp> Simulator<A> {
                             theirs.push(r);
                         }
                     });
+            }
+            if let (Some(t0), Some(scratch)) = (mark_t0, self.profile_scratch.as_deref_mut()) {
+                scratch.span_end(ProfilePhase::InterferenceMark, t0);
             }
         }
         if fanout == 0 {
@@ -1453,9 +1541,10 @@ where
     /// ones a snapshot deliberately cannot carry: the app `factory` and the
     /// sensor `field` (arbitrary closures / trait objects, re-supplied at
     /// [`Simulator::restore`]; the factory must be live because node
-    /// recovery rebuilds apps through it), the `trace` handle (a host-side
-    /// observer, re-attached by the caller), and `action_scratch` (empty
-    /// between events, which is the only place a checkpoint can be taken).
+    /// recovery rebuilds apps through it), the `trace` and `profile`
+    /// handles (host-side observers, re-attached by the caller), and
+    /// `action_scratch` (empty between events, which is the only place a
+    /// checkpoint can be taken).
     pub fn write_snapshot(&self, w: &mut SnapWriter) {
         let Simulator {
             nodes,
@@ -1477,6 +1566,9 @@ where
             faults,
             trace: _,
             timeseries,
+            profile: _,
+            profile_scratch: _,
+            profile_credited: _,
             now_us,
             seq,
             rng_state,
@@ -1539,8 +1631,9 @@ where
     /// [`Simulator::write_snapshot`]. `field` and `factory` re-supply the
     /// two unserializable collaborators and must match the originals (the
     /// field is drawn from on every sample; the factory rebuilds apps on
-    /// node recovery). The trace handle starts disabled — attach one with
-    /// [`Simulator::set_trace`] before resuming if the run was traced.
+    /// node recovery). The trace and profile handles start disabled —
+    /// attach them with [`Simulator::set_trace`] / [`Simulator::set_profile`]
+    /// before resuming if the run was observed.
     ///
     /// # Errors
     ///
@@ -1578,7 +1671,8 @@ where
         let slab_high_water = r.usize()?;
         let csma_capped = r.u64()?;
         let csma_sorts_saved = r.u64()?;
-        let phase_events: [u64; 5] = <[u64; 5]>::read(r)?;
+        // The wire stays exactly `EnginePhase::COUNT` u64s in wire order.
+        let phase_events: [u64; EnginePhase::COUNT] = <[u64; EnginePhase::COUNT]>::read(r)?;
 
         let n = topology.node_count();
         if nodes.len() != n
@@ -1615,6 +1709,8 @@ where
             faults,
             trace: TraceHandle::disabled(),
             timeseries,
+            profile: ProfileHandle::disabled(),
+            profile_scratch: None,
             now_us,
             seq,
             rng_state,
@@ -1625,6 +1721,7 @@ where
             csma_capped,
             csma_sorts_saved,
             phase_events,
+            profile_credited: phase_events,
         })
     }
 

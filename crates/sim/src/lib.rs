@@ -75,6 +75,7 @@ mod faults;
 mod field;
 mod incoming;
 mod metrics;
+mod profile;
 mod radio;
 mod snapshot;
 mod time;
@@ -90,6 +91,10 @@ pub use faults::{
 };
 pub use field::{BoundCorrelatedField, ConstantField, CorrelatedField, SensorField, UniformField};
 pub use metrics::{CompletenessReport, Metrics, MetricsSnapshot, QueryCompleteness};
+pub use profile::{
+    sample_event, EnginePhase, PhaseProfile, ProfileHandle, ProfilePhase, ProfileReport,
+    ProfileScratch, SAMPLE_INTERVAL,
+};
 pub use radio::{Destination, MsgKind, RadioParams};
 pub use snapshot::{
     Restorable, SnapReader, SnapWriter, Snapshot, SnapshotBuilder, SnapshotDocument, SnapshotError,
@@ -100,8 +105,9 @@ pub use timeseries::{
     gini, max_mean_ratio, NodeTimeseries, TimeseriesConfig, WindowRecorder, WindowStats,
 };
 pub use topology::{NodeId, Position, Topology, TopologyError, GRID_SPACING_FT, RADIO_RANGE_FT};
+pub use trace::diff::{trace_diff, Divergence, DivergentRecord, KindDelta, TraceDiff};
 pub use trace::{
-    chrome_trace, epoch_rollups, summarize_trace, trace_header, EpochRollup, JsonLinesSink,
-    ProvenanceId, RingSink, TraceDest, TraceEvent, TraceHandle, TraceRecord, TraceSchemaError,
-    TraceSink, TraceSummary, SCHEMA_VERSION,
+    chrome_trace, chrome_trace_with_profile, epoch_rollups, summarize_trace, trace_header,
+    EpochRollup, JsonLinesSink, ProvenanceId, RingSink, TraceDest, TraceEvent, TraceHandle,
+    TraceRecord, TraceSchemaError, TraceSink, TraceSummary, SCHEMA_VERSION,
 };

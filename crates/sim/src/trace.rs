@@ -33,6 +33,8 @@
 //! JSON-lines text (the workspace's vendored `serde` is an API stub, so both
 //! the writer and the reader are hand-rolled, like the campaign reports).
 
+pub mod diff;
+
 use crate::radio::MsgKind;
 use crate::topology::NodeId;
 use std::collections::{BTreeMap, VecDeque};
@@ -42,11 +44,11 @@ use std::sync::{Arc, Mutex};
 use ttmqo_query::QueryId;
 
 /// Version of every machine-readable report this workspace emits: the trace
-/// JSON-lines header and all `BENCH_*.json` records carry it as
-/// `schema_version`. This constant is the single source of truth — bump it
-/// here (and document the change in DESIGN.md §13) whenever any report's
+/// JSON-lines header, all `BENCH_*.json` records, and profile JSON carry it
+/// as `schema_version`. This constant is the single source of truth — bump
+/// it here (and document the change in DESIGN.md §13) whenever any report's
 /// field set changes shape.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Identity of one sensed sample: origin node and epoch start packed into a
 /// `u64` (`node << 48 | epoch_ms`). Rows already carry both on the wire, so
@@ -887,6 +889,10 @@ pub struct TraceSummary {
     /// Non-empty lines that were neither a record (no `ev` field) nor a
     /// header (no `schema_version` field) and were skipped.
     pub malformed_lines: u64,
+    /// Whether the file ended in a byte-truncated partial record (a
+    /// crash-time or mid-write trace). The partial line is excluded from
+    /// every count rather than treated as malformed.
+    pub truncated_tail: bool,
 }
 
 impl TraceSummary {
@@ -942,8 +948,16 @@ impl std::error::Error for TraceSchemaError {}
 /// different from [`SCHEMA_VERSION`] — the field set may have changed shape
 /// between versions, so parsing on anyway would produce silently wrong
 /// numbers.
+///
+/// A byte-truncated final line (the file stops mid-record, as a crash-time
+/// trace does) is dropped and flagged in [`TraceSummary::truncated_tail`]
+/// instead of being counted as malformed.
 pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> Result<TraceSummary, TraceSchemaError> {
-    let mut summary = TraceSummary::default();
+    let (text, truncated_tail) = strip_truncated_tail(text);
+    let mut summary = TraceSummary {
+        truncated_tail,
+        ..TraceSummary::default()
+    };
     // Hops per provenance id, and which provenances were delivered.
     let mut hops: BTreeMap<u64, u64> = BTreeMap::new();
     let mut delivered: Vec<u64> = Vec::new();
@@ -1076,6 +1090,17 @@ pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> Result<TraceSummary, Tr
 /// become complete (`X`) slices on their source node's track, everything
 /// else instant (`i`) events on the node named by the record.
 pub fn chrome_trace(text: &str) -> String {
+    chrome_trace_with_profile(text, None)
+}
+
+/// Like [`chrome_trace`], optionally merging a [`crate::ProfileReport`]'s
+/// per-phase totals as a flamegraph-style row of back-to-back slices on a
+/// dedicated `pid:1` "profiler" track (wall-µs timebase) next to the
+/// simulation-time events on `pid:0`.
+pub fn chrome_trace_with_profile(
+    text: &str,
+    profile: Option<&crate::profile::ProfileReport>,
+) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for line in text.lines() {
@@ -1104,8 +1129,35 @@ pub fn chrome_trace(text: &str) -> String {
             ));
         }
     }
+    if let Some(report) = profile {
+        for span in report.chrome_spans() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&span);
+        }
+    }
     out.push_str("]}");
     out
+}
+
+/// Splits off a byte-truncated final line, if any. A complete trace ends
+/// with a newline (every sink writes whole lines), and every record is a
+/// one-line object closed by `}` — so a file that neither ends with `\n`
+/// nor closes its last line with `}` stopped mid-write. Returns the text to
+/// process and whether a partial tail was dropped.
+pub(crate) fn strip_truncated_tail(text: &str) -> (&str, bool) {
+    if text.is_empty() || text.ends_with('\n') {
+        return (text, false);
+    }
+    let tail_start = text.rfind('\n').map_or(0, |i| i + 1);
+    if text[tail_start..].ends_with('}') {
+        // Complete record that merely lacks a trailing newline.
+        (text, false)
+    } else {
+        (&text[..tail_start], true)
+    }
 }
 
 /// Extracts a string field from one JSON line (fields this module writes
@@ -1426,6 +1478,35 @@ mod tests {
         let s = summarize_trace(&header, 2048).unwrap();
         assert_eq!(s.schema_version, Some(SCHEMA_VERSION));
         assert_eq!(s.events, 0);
+    }
+
+    #[test]
+    fn summarize_tolerates_a_byte_truncated_final_record() {
+        let mut text = trace_header();
+        text.push('\n');
+        for t in [1000, 2000, 3000] {
+            text.push_str(
+                &TraceRecord {
+                    time_us: t,
+                    event: TraceEvent::Wake { node: NodeId(1) },
+                }
+                .to_json(),
+            );
+            text.push('\n');
+        }
+        // Chop the file mid-way through the last record, as a crash-time
+        // trace would be.
+        let cut = &text[..text.len() - 9];
+        assert!(!cut.ends_with('\n') && !cut.ends_with('}'));
+        let s = summarize_trace(cut, 2048).expect("truncated tail tolerated");
+        assert!(s.truncated_tail);
+        assert_eq!(s.events, 2, "partial record excluded");
+        assert_eq!(s.malformed_lines, 0, "a truncated tail is not malformed");
+        // A file that merely lacks the trailing newline is complete.
+        let no_newline = text.trim_end_matches('\n');
+        let s = summarize_trace(no_newline, 2048).unwrap();
+        assert!(!s.truncated_tail);
+        assert_eq!(s.events, 3);
     }
 
     #[test]

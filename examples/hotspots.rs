@@ -7,13 +7,17 @@
 //! `i % n`; the base station is node 0 at the origin corner), followed by
 //! the run-level imbalance statistics: Gini coefficient and max/mean ratio
 //! over per-node tx-busy totals, the worst single-window Gini, and the
-//! energy totals. The markdown tables in EXPERIMENTS.md §"Hotspots &
-//! imbalance" are generated by this example.
+//! energy totals. Each run also carries the per-phase profiler, so the
+//! final section ranks where the *simulator's* wall time goes for each
+//! strategy — the spatial heat tables say where the simulated radio load
+//! lands, the phase ranking says what that load costs to simulate. The
+//! markdown tables in EXPERIMENTS.md §"Hotspots & imbalance" are generated
+//! by this example.
 //!
 //! Run with: `cargo run --release --example hotspots`
 
 use ttmqo::core::{run_experiment, ExperimentConfig, RunReport, Strategy};
-use ttmqo::sim::{gini, max_mean_ratio, SimTime, TimeseriesConfig};
+use ttmqo::sim::{gini, max_mean_ratio, ProfileHandle, SimTime, TimeseriesConfig};
 use ttmqo::workloads::workload_a;
 
 const GRID_N: usize = 8;
@@ -25,6 +29,7 @@ fn run(strategy: Strategy) -> RunReport {
         grid_n: GRID_N,
         duration: SimTime::from_ms(EPOCHS * 2048),
         timeseries: Some(TimeseriesConfig::default()),
+        profile: ProfileHandle::enabled(),
         ..ExperimentConfig::default()
     };
     run_experiment(&config, &workload_a())
@@ -61,6 +66,7 @@ fn heat_table(strategy: Strategy, report: &RunReport) -> Vec<f64> {
 fn main() {
     println!("Workload A, {GRID_N}x{GRID_N} grid, {EPOCHS} base epochs, default radio.\n");
     let mut summary: Vec<(Strategy, Vec<f64>, f64, f64)> = Vec::new();
+    let mut profiles = Vec::new();
     for strategy in [Strategy::Baseline, Strategy::TwoTier] {
         let report = run(strategy);
         let totals = heat_table(strategy, &report);
@@ -75,6 +81,7 @@ fn main() {
             "peak single-window gini: {:.3}\n",
             series.nodes.peak_gini_tx_busy()
         );
+        profiles.push((strategy, report.profile.expect("profiling enabled")));
     }
 
     println!("### Imbalance summary\n");
@@ -91,5 +98,34 @@ fn main() {
             energy,
             max_energy,
         );
+    }
+
+    // Where the simulator's own wall time goes, hottest phase first. The
+    // engine-phase percentages are shares of the engine event loop;
+    // runner phases (admission scoring, re-optimization, answer mapping)
+    // are listed with absolute time only.
+    println!("\n### Simulator phase ranking (per strategy)\n");
+    for (strategy, profile) in &profiles {
+        let engine_ns = profile.engine_event_wall_ns().max(1) as f64;
+        let mut phases = profile.phases.clone();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.wall_ns));
+        println!("**{strategy}**\n");
+        println!("| phase | wall µs | events | ns/event | % of engine loop |");
+        println!("|---|---|---|---|---|");
+        for p in phases.iter().filter(|p| p.events > 0) {
+            let share = if p.phase.is_engine_event_phase() {
+                format!("{:.1}%", p.wall_ns as f64 / engine_ns * 100.0)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "| {} | {} | {} | {:.0} | {share} |",
+                p.phase.name(),
+                p.wall_us(),
+                p.events,
+                p.ns_per_event(),
+            );
+        }
+        println!();
     }
 }

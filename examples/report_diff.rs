@@ -15,6 +15,11 @@
 //! that moved is a behaviour change, not noise.
 //! CI runs this against the checked-in baselines under `bench/baselines/`.
 //!
+//! When the gate fails on an exact field, the next diagnostic step is the
+//! trace-divergence localizer (`examples/divergence.rs`): re-trace both
+//! configurations from a common checkpoint and it names the first event
+//! where behaviour departs instead of leaving you with two counters.
+//!
 //! ```text
 //! cargo run --release --example report_diff -- \
 //!     bench/baselines/BENCH_engine.json crates/bench/BENCH_engine.json \
@@ -92,6 +97,11 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("FAIL");
+        println!(
+            "hint: for exact-field mismatches, localize where the runs \
+             depart with the trace-divergence example \
+             (cargo run --release --example divergence)"
+        );
         ExitCode::FAILURE
     }
 }

@@ -8,8 +8,10 @@
 //! two-tier cell, then re-reads the trace from disk and shows that the
 //! summary reconstructed from the trace alone agrees with the live
 //! `CellRecord` — the property the `trace_provenance` integration test
-//! asserts exactly. CI runs this before `trace_analyze` to produce the
-//! trace-smoke artifacts.
+//! asserts exactly. The cell also runs with the per-phase profiler
+//! (`CampaignSpec::profile_output`), writing a `profiles/profile-*.json`
+//! report next to the trace. CI runs this before `trace_analyze` to
+//! produce the trace- and profile-smoke artifacts.
 //!
 //! Run with: `cargo run --release --example trace_quickstart`
 
@@ -40,7 +42,8 @@ fn main() {
         .strategies([Strategy::TwoTier])
         .grid_sizes([4])
         .workload("quickstart", workload)
-        .trace_output("traces");
+        .trace_output("traces")
+        .profile_output("profiles");
 
     println!("running {} traced cell(s)...", spec.cell_count());
     let report = run_campaign_sequential(&spec);
@@ -55,6 +58,9 @@ fn main() {
         "engine phases: {} timer, {} deliver, {} maintenance events",
         cell.engine.timer_events, cell.engine.deliver_events, cell.engine.maintenance_events
     );
+    let profile_file = cell.profile_file.as_ref().expect("profiling was enabled");
+    let profile_path = format!("profiles/{profile_file}");
+    println!("per-phase profile -> {profile_path}");
 
     let text = std::fs::read_to_string(&path).expect("trace file written by the campaign");
     let summary = summarize_trace(&text, 2048).expect("trace schema matches the library");
@@ -89,5 +95,8 @@ fn main() {
         "\ntrace answers ({from_trace}) == live record answer_epochs ({}) ✓",
         cell.answer_epochs
     );
-    println!("analyze further with: cargo run --release --example trace_analyze -- {path}");
+    println!(
+        "analyze further with: cargo run --release --example trace_analyze -- {path} \
+         --profile {profile_path} --chrome chrome.json"
+    );
 }
