@@ -97,6 +97,11 @@ pub struct TwoTierBenchParams {
     pub grid_n: usize,
     /// Simulated duration, ms.
     pub duration_ms: u64,
+    /// Whether the run arms the standing invariant auditor
+    /// (`ExperimentConfig::audit`) — the report row then gains an
+    /// `audit_violations` count. Off for the overhead-comparison baseline
+    /// rows, like `profiled` on the flood rows.
+    pub audited: bool,
 }
 
 impl TwoTierBenchParams {
@@ -107,6 +112,7 @@ impl TwoTierBenchParams {
             name: name.to_string(),
             grid_n,
             duration_ms,
+            audited: false,
         };
         vec![
             base("twotier-16x16", 16, duration_ms),
@@ -143,6 +149,9 @@ pub struct EngineBenchResult {
     pub stats: EngineStats,
     /// Per-phase wall-time attribution, when the run was profiled.
     pub profile: Option<ProfileReport>,
+    /// Standing-auditor violation count, when the run was audited
+    /// (two-tier rows with [`TwoTierBenchParams::audited`] set).
+    pub audit_violations: Option<u64>,
 }
 
 /// The trivial traffic generator: every `interval_ms` each node broadcasts
@@ -255,6 +264,7 @@ pub fn engine_microbench(params: &EngineBenchParams) -> EngineBenchResult {
         delivered,
         stats,
         profile: profile.report(),
+        audit_violations: None,
     }
 }
 
@@ -271,6 +281,7 @@ pub fn twotier_bench(params: &TwoTierBenchParams) -> EngineBenchResult {
         duration: SimTime::from_ms(params.duration_ms),
         topology_override: Some(topo),
         profile: ProfileHandle::enabled(),
+        audit: params.audited,
         ..ExperimentConfig::default()
     };
     let start = Instant::now();
@@ -296,6 +307,10 @@ pub fn twotier_bench(params: &TwoTierBenchParams) -> EngineBenchResult {
         delivered,
         stats: report.engine,
         profile: report.profile,
+        audit_violations: report
+            .audit
+            .as_ref()
+            .map(|audit| audit.violations.len() as u64),
     }
 }
 
@@ -341,6 +356,9 @@ impl EngineBenchResult {
             ] {
                 out.push_str(&format!(",\"{key}\":{}", profile.get(phase).wall_us()));
             }
+        }
+        if let Some(violations) = self.audit_violations {
+            out.push_str(&format!(",\"audit_violations\":{violations}"));
         }
         out.push('}');
         out

@@ -52,16 +52,23 @@
 //! ```
 
 use crate::basestation::OptimizerStats;
+use crate::observe::{events_per_sec, CampaignEvent, ProgressHandle, ProgressSink};
 use crate::runner::{run_experiment, ExperimentConfig, RunSession, Strategy, WorkloadEvent};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use ttmqo_sim::{
-    CompletenessReport, EngineStats, FaultPlan, JsonLinesSink, MetricsSnapshot, ProfileHandle,
-    SimTime, TraceHandle, SCHEMA_VERSION,
+    summarize_trace, AuditReport, CompletenessReport, EngineStats, FaultPlan, JsonLinesSink,
+    MetricsSnapshot, ProfileHandle, SimTime, TraceHandle, SCHEMA_VERSION,
 };
+
+/// Epoch length (ms) used when summarizing a cell's trace for the
+/// trace↔answer audit reconciliation — the paper's base epoch. Only the
+/// summary's per-epoch rollups depend on it; the per-query answer counts
+/// the audit compares are epoch-length independent.
+const AUDIT_SUMMARY_EPOCH_MS: u64 = 2048;
 
 /// A named workload inside a campaign.
 #[derive(Debug, Clone)]
@@ -138,6 +145,17 @@ pub struct CampaignSpec {
     /// because a resumed cell's trace file (or profile attribution) would be
     /// missing the shared prefix's events.
     pub warm_start: bool,
+    /// Live progress telemetry channel. The default disabled handle emits
+    /// nothing; an attached sink receives [`CampaignEvent`]s as cells
+    /// start, finish and fail, plus heartbeats and an overall
+    /// started/finished pair. Emission is observational only — no RNG
+    /// draws, no behavioral branches — so cell records are bit-identical
+    /// with or without a sink (the `trace` contract at campaign scope).
+    pub progress: ProgressHandle,
+    /// Heartbeat period for the observational liveness thread, ms. The
+    /// thread runs only while a progress sink is attached and the period
+    /// is nonzero; 0 disables heartbeats while keeping per-cell events.
+    pub heartbeat_ms: u64,
 }
 
 impl CampaignSpec {
@@ -158,8 +176,41 @@ impl CampaignSpec {
             timeseries_dir: None,
             profile_dir: None,
             warm_start: false,
+            progress: ProgressHandle::disabled(),
+            heartbeat_ms: 1000,
             base,
         }
+    }
+
+    /// Attaches a progress sink (see [`CampaignSpec::progress`]).
+    pub fn progress(mut self, sink: impl ProgressSink + 'static) -> Self {
+        self.progress = ProgressHandle::new(sink);
+        self
+    }
+
+    /// Attaches an existing progress handle — lets a caller keep a typed
+    /// shared sink (e.g. [`crate::observe::MemoryProgress`]) to read the
+    /// events back.
+    pub fn progress_handle(mut self, handle: ProgressHandle) -> Self {
+        self.progress = handle;
+        self
+    }
+
+    /// Sets the heartbeat period (see [`CampaignSpec::heartbeat_ms`]).
+    pub fn heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms;
+        self
+    }
+
+    /// Enables the standing invariant auditor for every cell
+    /// ([`ExperimentConfig::audit`] on the shared base): each record
+    /// carries an [`AuditReport`], and — when the campaign also traces —
+    /// the written trace file is read back and reconciled against the
+    /// cell's answer counts. Auditing is post-hoc arithmetic; cells stay
+    /// bit-identical.
+    pub fn audit(mut self) -> Self {
+        self.base.audit = true;
+        self
     }
 
     /// Replaces the strategy axis.
@@ -396,6 +447,13 @@ pub struct CellRecord {
     /// File name (relative to [`CampaignSpec::profile_dir`]) of this cell's
     /// phase-profile JSON, when the campaign ran with profiling enabled.
     pub profile_file: Option<String>,
+    /// Standing invariant audit of the cell's run; `Some` iff the campaign
+    /// ran with [`CampaignSpec::audit`] (or the base config set
+    /// [`ExperimentConfig::audit`]). When the campaign also traced, the
+    /// report includes the trace↔answer reconciliation over the written
+    /// trace file. Deterministic: auditing is arithmetic over the run's
+    /// own deterministic artifacts.
+    pub audit: Option<AuditReport>,
 }
 
 impl CellRecord {
@@ -435,9 +493,11 @@ impl CellRecord {
     /// `"trace_file":"trace-0-....jsonl"` field is present only when the
     /// campaign ran with [`CampaignSpec::trace_output`], a trailing
     /// `"timeseries_file":"timeseries-0-....json"` only with
-    /// [`CampaignSpec::timeseries_output`], and a trailing
+    /// [`CampaignSpec::timeseries_output`], a trailing
     /// `"profile_file":"profile-0-....json"` only with
-    /// [`CampaignSpec::profile_output`].
+    /// [`CampaignSpec::profile_output`], and a trailing
+    /// `"audit":{...}` ([`AuditReport::to_json`]) only with
+    /// [`CampaignSpec::audit`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -631,6 +691,10 @@ impl CellRecord {
             out.push(',');
             json_str(&mut out, "profile_file", name);
         }
+        if let Some(audit) = &self.audit {
+            out.push_str(",\"audit\":");
+            out.push_str(&audit.to_json());
+        }
         out.push('}');
         out
     }
@@ -736,7 +800,7 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
         config.profile = ProfileHandle::enabled();
     }
     let start = Instant::now();
-    let report = match prefix {
+    let mut report = match prefix {
         Some(bytes) => RunSession::restore(bytes, &config, &workload.events)
             .expect("the group prefix checkpoint was produced under this configuration")
             .finish(),
@@ -744,6 +808,29 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
     };
     let wall_clock_ms = start.elapsed().as_secs_f64() * 1000.0;
     config.trace.flush();
+    // Trace↔answer reconciliation: with both the auditor and tracing on,
+    // read the written trace back and check that the answer counts it
+    // reconstructs equal the run report's. Post-hoc by construction — the
+    // run is already finished. An unreadable or unparsable trace counts as
+    // a skipped check, not a violation (an absent artifact proves nothing).
+    if let (Some(audit), Some(dir), Some(name)) =
+        (report.audit.as_mut(), &spec.trace_dir, &trace_file)
+    {
+        let summarized = std::fs::read_to_string(dir.join(name))
+            .ok()
+            .and_then(|text| summarize_trace(&text, AUDIT_SUMMARY_EPOCH_MS).ok());
+        match summarized {
+            Some(summary) => {
+                let answers: BTreeMap<u64, u64> = report
+                    .answers
+                    .iter()
+                    .map(|(qid, v)| (qid.0, v.len() as u64))
+                    .collect();
+                audit.check_trace_answers(&summary, &answers);
+            }
+            None => audit.checks_skipped += 1,
+        }
+    }
     let timeseries_file = spec
         .timeseries_dir
         .as_ref()
@@ -799,7 +886,114 @@ fn run_cell(spec: &CampaignSpec, cell: &CellSpec, prefix: Option<&[u8]>) -> Cell
         max_node_energy_mj: report.max_node_energy_mj,
         timeseries_file,
         profile_file,
+        audit: report.audit,
     }
+}
+
+/// Observational campaign counters shared by the workers and the heartbeat
+/// thread. Everything here is telemetry: loads and stores are `Relaxed`,
+/// and no simulation decision ever reads these values.
+struct ProgressState {
+    started: Instant,
+    total: usize,
+    threads: usize,
+    completed: AtomicUsize,
+    running: AtomicUsize,
+    /// Sum of completed cells' wall-clock times, µs (u64 so workers can
+    /// accumulate without a lock).
+    wall_sum_us: AtomicU64,
+}
+
+impl ProgressState {
+    fn wall_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// ETA extrapolation: mean completed-cell wall time × remaining cells
+    /// ÷ worker threads. `None` until the first cell completes. A coarse
+    /// estimate by design — cells vary in cost — but it converges as the
+    /// sweep progresses, which is what a week-long soak campaign needs.
+    fn eta_ms(&self) -> Option<f64> {
+        let completed = self.completed.load(Ordering::Relaxed);
+        if completed == 0 {
+            return None;
+        }
+        let mean_ms = self.wall_sum_us.load(Ordering::Relaxed) as f64 / 1000.0 / completed as f64;
+        let remaining = self.total.saturating_sub(completed) as f64;
+        Some(mean_ms * remaining / self.threads as f64)
+    }
+}
+
+/// [`run_cell`] wrapped in progress telemetry: started/finished events
+/// around the run, and — when the worker panics — a `cell-failed` event
+/// naming the dead cell, flushed before the panic resumes so the observer
+/// keeps the context even though the campaign aborts.
+fn run_cell_observed(
+    spec: &CampaignSpec,
+    cell: &CellSpec,
+    prefix: Option<&[u8]>,
+    warm: bool,
+    state: &ProgressState,
+) -> CellRecord {
+    let workload = &spec.workloads[cell.workload].name;
+    let fault = &spec.faults[cell.fault].name;
+    spec.progress.emit(&CampaignEvent::CellStarted {
+        wall_ms: state.wall_ms(),
+        index: cell.index,
+        workload: workload.clone(),
+        strategy: cell.strategy,
+        grid_n: cell.grid_n,
+        field_seed: cell.field_seed,
+        fault: fault.clone(),
+        warm,
+    });
+    state.running.fetch_add(1, Ordering::Relaxed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_cell(spec, cell, prefix)
+    }));
+    state.running.fetch_sub(1, Ordering::Relaxed);
+    let record = match result {
+        Ok(record) => record,
+        Err(panic) => {
+            spec.progress.emit(&CampaignEvent::CellFailed {
+                wall_ms: state.wall_ms(),
+                index: cell.index,
+                workload: workload.clone(),
+                strategy: cell.strategy,
+                grid_n: cell.grid_n,
+                field_seed: cell.field_seed,
+                fault: fault.clone(),
+            });
+            spec.progress.flush();
+            std::panic::resume_unwind(panic)
+        }
+    };
+    state
+        .wall_sum_us
+        .fetch_add((record.wall_clock_ms * 1000.0) as u64, Ordering::Relaxed);
+    let completed = state.completed.fetch_add(1, Ordering::Relaxed) + 1;
+    spec.progress.emit(&CampaignEvent::CellFinished {
+        wall_ms: state.wall_ms(),
+        index: cell.index,
+        workload: record.workload.clone(),
+        strategy: cell.strategy,
+        grid_n: cell.grid_n,
+        field_seed: cell.field_seed,
+        fault: record.fault.clone(),
+        warm,
+        cell_wall_ms: record.wall_clock_ms,
+        sim_ms: spec.base.duration.as_ms(),
+        events_processed: record.engine.events_processed,
+        events_per_sec: events_per_sec(record.engine.events_processed, record.wall_clock_ms),
+        audit_violations: record
+            .audit
+            .as_ref()
+            .map_or(0, |a| a.violations.len() as u64),
+        completed,
+        total: state.total,
+        eta_ms: state.eta_ms(),
+    });
+    record
 }
 
 /// Runs the campaign over one worker thread per available CPU.
@@ -849,10 +1043,51 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
             .as_ref()
             .map(|map| map[&(cell.strategy, cell.grid_n, cell.field_seed, cell.fault)].as_slice())
     };
+    let warm = prefixes.is_some();
+    let state = Arc::new(ProgressState {
+        started,
+        total: cells.len(),
+        threads,
+        completed: AtomicUsize::new(0),
+        running: AtomicUsize::new(0),
+        wall_sum_us: AtomicU64::new(0),
+    });
+    spec.progress.emit(&CampaignEvent::CampaignStarted {
+        cells: cells.len(),
+        threads,
+        warm_start: warm,
+    });
+    // Observational heartbeat: a plain OS thread that only *reads* the
+    // shared counters and emits telemetry on a period. It holds no
+    // reference into the simulation, draws no RNG, and nothing in the
+    // campaign ever branches on its existence — so an observed campaign's
+    // cell records are bit-identical to an unobserved one's (pinned by the
+    // golden determinism tests). Spawned only when a sink is attached.
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = (spec.progress.is_enabled() && spec.heartbeat_ms > 0 && !cells.is_empty())
+        .then(|| {
+            let progress = spec.progress.clone();
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let period = Duration::from_millis(spec.heartbeat_ms);
+            std::thread::spawn(move || loop {
+                std::thread::park_timeout(period);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                progress.emit(&CampaignEvent::Heartbeat {
+                    wall_ms: state.wall_ms(),
+                    completed: state.completed.load(Ordering::Relaxed),
+                    running: state.running.load(Ordering::Relaxed),
+                    total: state.total,
+                    eta_ms: state.eta_ms(),
+                });
+            })
+        });
     let records: Vec<CellRecord> = if threads == 1 {
         cells
             .iter()
-            .map(|cell| run_cell(spec, cell, prefix_of(cell)))
+            .map(|cell| run_cell_observed(spec, cell, prefix_of(cell), warm, &state))
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -862,7 +1097,7 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
                 s.spawn(|_| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let record = run_cell(spec, cell, prefix_of(cell));
+                    let record = run_cell_observed(spec, cell, prefix_of(cell), warm, &state);
                     slots.lock().expect("no worker panicked holding the lock")[i] = Some(record);
                 });
             }
@@ -875,15 +1110,30 @@ pub fn run_campaign_with(spec: &CampaignSpec, threads: usize) -> CampaignReport 
             .map(|r| r.expect("cursor visited every cell"))
             .collect()
     };
-    CampaignReport {
+    if let Some(heartbeat) = heartbeat {
+        stop.store(true, Ordering::Relaxed);
+        heartbeat.thread().unpark();
+        heartbeat
+            .join()
+            .expect("the heartbeat thread only reads counters and never panics");
+    }
+    let report = CampaignReport {
         cells: records,
         threads,
         wall_clock_ms: started.elapsed().as_secs_f64() * 1000.0,
-    }
+    };
+    spec.progress.emit(&CampaignEvent::CampaignFinished {
+        wall_ms: report.wall_clock_ms,
+        cells: report.cells.len(),
+        warm_prefix_hits: if warm { report.cells.len() } else { 0 },
+        audit_violations: report.audit_violations(),
+    });
+    spec.progress.flush();
+    report
 }
 
 /// Appends `"key":"escaped value"`.
-fn json_str(out: &mut String, key: &str, value: &str) {
+pub(crate) fn json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");
@@ -903,7 +1153,7 @@ fn json_str(out: &mut String, key: &str, value: &str) {
 
 /// Appends `"key":value` with `value` already rendered as a JSON number (or
 /// `null`).
-fn json_num(out: &mut String, key: &str, value: &str) {
+pub(crate) fn json_num(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":");
@@ -912,7 +1162,7 @@ fn json_num(out: &mut String, key: &str, value: &str) {
 
 /// Renders an f64 as a JSON number; non-finite values (which valid runs never
 /// produce) become `null` rather than invalid JSON.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -1122,6 +1372,37 @@ mod tests {
             assert_eq!(p.engine, c.engine);
             assert_eq!(p.completeness, c.completeness);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auditing_with_tracing_reconciles_the_trace() {
+        let dir = std::env::temp_dir().join(format!("ttmqo-audit-campaign-{}", std::process::id()));
+        let plain = run_campaign_sequential(&tiny_spec().audit());
+        let traced = run_campaign_sequential(&tiny_spec().audit().trace_output(&dir));
+        for (p, t) in plain.cells.iter().zip(&traced.cells) {
+            let pa = p.audit.as_ref().expect("audited cell carries a report");
+            let ta = t.audit.as_ref().expect("audited cell carries a report");
+            assert!(pa.is_clean(), "untraced audit clean, got {pa}");
+            assert!(ta.is_clean(), "traced audit clean, got {ta}");
+            // The traced campaign reads each cell's trace back and runs the
+            // trace↔answer reconciliation on top of the standing checks.
+            assert_eq!(
+                ta.checks_run,
+                pa.checks_run + 1,
+                "exactly one extra check (trace↔answers) on the traced run"
+            );
+            // Auditing plus tracing still moves no bits of behaviour.
+            assert_eq!(p.metrics, t.metrics);
+            assert_eq!(p.engine, t.engine);
+        }
+        let jsonl = traced.to_jsonl();
+        assert!(jsonl.contains("\"audit\":{\"schema_version\":"));
+        assert!(jsonl.contains("\"violations\":[]"));
+        // Unaudited campaigns keep their records audit-free.
+        let bare = run_campaign_sequential(&tiny_spec());
+        assert!(bare.cells.iter().all(|c| c.audit.is_none()));
+        assert!(!bare.to_jsonl().contains("\"audit\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,6 +48,7 @@ pub mod basestation;
 pub mod campaign;
 pub mod compare;
 pub mod innetwork;
+pub mod observe;
 mod runner;
 
 pub use basestation::{
@@ -60,6 +61,10 @@ pub use campaign::{
     CampaignWorkload, CellRecord, CellSpec,
 };
 pub use innetwork::{DagState, PartialEntry, RowEntry, TtmqoApp, TtmqoConfig, TtmqoPayload};
+pub use observe::{
+    progress_header, AxisMarginal, CampaignEvent, CampaignRollup, HotspotCell, JsonLinesProgress,
+    MemoryProgress, ProgressHandle, ProgressSink,
+};
 pub use runner::{
     run_experiment, ExperimentConfig, FieldKind, QueryWindowSeries, RunReport, RunSession,
     RunTimeseries, Strategy, WorkloadAction, WorkloadEvent,

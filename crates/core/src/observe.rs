@@ -1,0 +1,1269 @@
+//! Campaign observatory: live progress telemetry and cross-cell rollups.
+//!
+//! A campaign is hundreds of independent cells; until now it ran dark —
+//! the only output was the final [`CampaignReport`] after the last cell.
+//! This module adds the fleet-level observability layer:
+//!
+//! * **Progress events** — [`CampaignEvent`]s stream from
+//!   [`run_campaign_with`](crate::run_campaign_with) through a
+//!   [`ProgressHandle`] as cells start, finish and fail, with a periodic
+//!   heartbeat and an ETA extrapolated from completed-cell rates. The
+//!   channel obeys the `trace` contract: emission never draws simulation
+//!   RNG and never branches on simulated state, so a campaign with a
+//!   progress sink attached produces bit-identical cell records to one
+//!   without. Event *contents* include wall-clock fields and are therefore
+//!   machine-dependent; the deterministic parts (cell coordinates, event
+//!   counts, completion order of the sequential runner) are not.
+//! * **Rollups** — [`CampaignRollup::from_records`] aggregates the per-cell
+//!   records into per-axis marginals (workload / strategy / grid / fault),
+//!   top-N hotspot cells, and campaign totals, serialized as the single
+//!   `campaign-report.json` object ([`CampaignRollup::to_json`]) the
+//!   `report_diff` example gates on, plus a human markdown summary
+//!   ([`CampaignRollup::to_markdown`]). Every marginal is an exact sum (or
+//!   min/max) over the records it covers — integer counters reconcile
+//!   exactly, f64 sums fold in deterministic cell order.
+//!
+//! The third observability leg, the standing invariant auditor, lives in
+//! [`ttmqo_sim::AuditReport`] and is wired through
+//! [`ExperimentConfig::audit`](crate::ExperimentConfig::audit); the rollup
+//! carries its violation totals.
+
+use crate::campaign::{json_f64, json_num, json_str, CampaignReport, CellRecord};
+use crate::runner::Strategy;
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use ttmqo_sim::SCHEMA_VERSION;
+
+/// How many hotspot cells a rollup keeps.
+pub const HOTSPOT_TOP_N: usize = 5;
+
+/// One progress event on a campaign's telemetry channel.
+///
+/// `wall_ms` fields are host wall-clock milliseconds since the campaign
+/// started — observational, machine-dependent, and absent from every
+/// determinism comparison. Everything naming cells (index, coordinates)
+/// follows the deterministic [`CampaignSpec::cells`](crate::CampaignSpec)
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// The campaign accepted its spec and is about to run.
+    CampaignStarted {
+        /// Cells the sweep expands to.
+        cells: usize,
+        /// Worker threads.
+        threads: usize,
+        /// Whether warm-started prefix sharing is in force.
+        warm_start: bool,
+    },
+    /// A worker picked up a cell.
+    CellStarted {
+        /// Wall-clock ms since campaign start.
+        wall_ms: f64,
+        /// Position in the deterministic cell order.
+        index: usize,
+        /// Workload name.
+        workload: String,
+        /// Strategy coordinate.
+        strategy: Strategy,
+        /// Grid-side coordinate.
+        grid_n: usize,
+        /// Field-seed coordinate.
+        field_seed: u64,
+        /// Fault-plan name.
+        fault: String,
+        /// Whether the cell resumes from a warm-start prefix checkpoint.
+        warm: bool,
+    },
+    /// A cell finished and its record landed in its slot.
+    CellFinished {
+        /// Wall-clock ms since campaign start.
+        wall_ms: f64,
+        /// Position in the deterministic cell order.
+        index: usize,
+        /// Workload name.
+        workload: String,
+        /// Strategy coordinate.
+        strategy: Strategy,
+        /// Grid-side coordinate.
+        grid_n: usize,
+        /// Field-seed coordinate.
+        field_seed: u64,
+        /// Fault-plan name.
+        fault: String,
+        /// Whether the cell resumed from a warm-start prefix checkpoint.
+        warm: bool,
+        /// The cell's own wall-clock time, ms.
+        cell_wall_ms: f64,
+        /// Simulated horizon of the cell, ms.
+        sim_ms: u64,
+        /// Engine events the cell processed.
+        events_processed: u64,
+        /// Engine events per wall-clock second (0 for a 0 ms cell).
+        events_per_sec: f64,
+        /// Audit violations in the cell's record (0 when unaudited).
+        audit_violations: u64,
+        /// Cells completed so far, this one included.
+        completed: usize,
+        /// Total cells in the campaign.
+        total: usize,
+        /// Estimated wall-clock ms to completion, extrapolated from the
+        /// mean completed-cell wall time over the remaining cells and
+        /// thread count. `None` until the first cell completes.
+        eta_ms: Option<f64>,
+    },
+    /// A cell's worker panicked. The campaign still aborts (the panic is
+    /// resumed after this event flushes), but the observer learns *which*
+    /// cell died rather than losing the whole sweep's context.
+    CellFailed {
+        /// Wall-clock ms since campaign start.
+        wall_ms: f64,
+        /// Position in the deterministic cell order.
+        index: usize,
+        /// Workload name.
+        workload: String,
+        /// Strategy coordinate.
+        strategy: Strategy,
+        /// Grid-side coordinate.
+        grid_n: usize,
+        /// Field-seed coordinate.
+        field_seed: u64,
+        /// Fault-plan name.
+        fault: String,
+    },
+    /// Periodic liveness tick from the observational heartbeat thread.
+    Heartbeat {
+        /// Wall-clock ms since campaign start.
+        wall_ms: f64,
+        /// Cells completed so far.
+        completed: usize,
+        /// Cells currently inside a worker.
+        running: usize,
+        /// Total cells in the campaign.
+        total: usize,
+        /// Estimated wall-clock ms to completion (see
+        /// [`CampaignEvent::CellFinished::eta_ms`]).
+        eta_ms: Option<f64>,
+    },
+    /// Every cell completed.
+    CampaignFinished {
+        /// Wall-clock ms the whole campaign took.
+        wall_ms: f64,
+        /// Cells executed.
+        cells: usize,
+        /// Cells that resumed from a warm-start prefix checkpoint.
+        warm_prefix_hits: usize,
+        /// Total audit violations across every cell record.
+        audit_violations: u64,
+    },
+}
+
+impl CampaignEvent {
+    /// Stable kebab-case tag carried in the JSON `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignEvent::CampaignStarted { .. } => "campaign-started",
+            CampaignEvent::CellStarted { .. } => "cell-started",
+            CampaignEvent::CellFinished { .. } => "cell-finished",
+            CampaignEvent::CellFailed { .. } => "cell-failed",
+            CampaignEvent::Heartbeat { .. } => "heartbeat",
+            CampaignEvent::CampaignFinished { .. } => "campaign-finished",
+        }
+    }
+
+    /// One JSON object per event, `{"ev":"<kind>",...}` — a line of the
+    /// progress JSONL stream. Every variant destructures exhaustively: a
+    /// field added without a serialization decision here is a compile
+    /// error.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        json_str(&mut out, "ev", self.kind());
+        match self {
+            CampaignEvent::CampaignStarted {
+                cells,
+                threads,
+                warm_start,
+            } => {
+                out.push(',');
+                json_num(&mut out, "cells", &cells.to_string());
+                out.push(',');
+                json_num(&mut out, "threads", &threads.to_string());
+                out.push(',');
+                json_num(&mut out, "warm_start", &warm_start.to_string());
+            }
+            CampaignEvent::CellStarted {
+                wall_ms,
+                index,
+                workload,
+                strategy,
+                grid_n,
+                field_seed,
+                fault,
+                warm,
+            } => {
+                out.push(',');
+                json_num(&mut out, "wall_ms", &json_f64(*wall_ms));
+                out.push(',');
+                push_cell_coords(
+                    &mut out,
+                    *index,
+                    workload,
+                    *strategy,
+                    *grid_n,
+                    *field_seed,
+                    fault,
+                );
+                out.push(',');
+                json_num(&mut out, "warm", &warm.to_string());
+            }
+            CampaignEvent::CellFinished {
+                wall_ms,
+                index,
+                workload,
+                strategy,
+                grid_n,
+                field_seed,
+                fault,
+                warm,
+                cell_wall_ms,
+                sim_ms,
+                events_processed,
+                events_per_sec,
+                audit_violations,
+                completed,
+                total,
+                eta_ms,
+            } => {
+                out.push(',');
+                json_num(&mut out, "wall_ms", &json_f64(*wall_ms));
+                out.push(',');
+                push_cell_coords(
+                    &mut out,
+                    *index,
+                    workload,
+                    *strategy,
+                    *grid_n,
+                    *field_seed,
+                    fault,
+                );
+                out.push(',');
+                json_num(&mut out, "warm", &warm.to_string());
+                out.push(',');
+                json_num(&mut out, "cell_wall_ms", &json_f64(*cell_wall_ms));
+                out.push(',');
+                json_num(&mut out, "sim_ms", &sim_ms.to_string());
+                out.push(',');
+                json_num(&mut out, "events_processed", &events_processed.to_string());
+                out.push(',');
+                json_num(&mut out, "events_per_sec", &json_f64(*events_per_sec));
+                out.push(',');
+                json_num(&mut out, "audit_violations", &audit_violations.to_string());
+                out.push(',');
+                json_num(&mut out, "completed", &completed.to_string());
+                out.push(',');
+                json_num(&mut out, "total", &total.to_string());
+                out.push(',');
+                push_eta(&mut out, *eta_ms);
+            }
+            CampaignEvent::CellFailed {
+                wall_ms,
+                index,
+                workload,
+                strategy,
+                grid_n,
+                field_seed,
+                fault,
+            } => {
+                out.push(',');
+                json_num(&mut out, "wall_ms", &json_f64(*wall_ms));
+                out.push(',');
+                push_cell_coords(
+                    &mut out,
+                    *index,
+                    workload,
+                    *strategy,
+                    *grid_n,
+                    *field_seed,
+                    fault,
+                );
+            }
+            CampaignEvent::Heartbeat {
+                wall_ms,
+                completed,
+                running,
+                total,
+                eta_ms,
+            } => {
+                out.push(',');
+                json_num(&mut out, "wall_ms", &json_f64(*wall_ms));
+                out.push(',');
+                json_num(&mut out, "completed", &completed.to_string());
+                out.push(',');
+                json_num(&mut out, "running", &running.to_string());
+                out.push(',');
+                json_num(&mut out, "total", &total.to_string());
+                out.push(',');
+                push_eta(&mut out, *eta_ms);
+            }
+            CampaignEvent::CampaignFinished {
+                wall_ms,
+                cells,
+                warm_prefix_hits,
+                audit_violations,
+            } => {
+                out.push(',');
+                json_num(&mut out, "wall_ms", &json_f64(*wall_ms));
+                out.push(',');
+                json_num(&mut out, "cells", &cells.to_string());
+                out.push(',');
+                json_num(&mut out, "warm_prefix_hits", &warm_prefix_hits.to_string());
+                out.push(',');
+                json_num(&mut out, "audit_violations", &audit_violations.to_string());
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_cell_coords(
+    out: &mut String,
+    index: usize,
+    workload: &str,
+    strategy: Strategy,
+    grid_n: usize,
+    field_seed: u64,
+    fault: &str,
+) {
+    json_num(out, "index", &index.to_string());
+    out.push(',');
+    json_str(out, "workload", workload);
+    out.push(',');
+    json_str(out, "strategy", &strategy.to_string());
+    out.push(',');
+    json_num(out, "grid_n", &grid_n.to_string());
+    out.push(',');
+    json_num(out, "field_seed", &field_seed.to_string());
+    out.push(',');
+    json_str(out, "fault", fault);
+}
+
+fn push_eta(out: &mut String, eta_ms: Option<f64>) {
+    json_num(
+        out,
+        "eta_ms",
+        &eta_ms.map_or_else(|| "null".to_string(), json_f64),
+    );
+}
+
+/// Header line every progress JSONL stream starts with.
+pub fn progress_header() -> String {
+    format!("{{\"schema_version\":{SCHEMA_VERSION},\"format\":\"ttmqo-campaign-progress\"}}")
+}
+
+/// Receiver of campaign progress events. Implementations run on campaign
+/// worker threads and the heartbeat thread (behind the handle's mutex), so
+/// they should be quick; slow sinks delay telemetry, never simulation
+/// results.
+pub trait ProgressSink: Send {
+    /// Called once per event, in emission order.
+    fn event(&mut self, event: &CampaignEvent);
+    /// Flush buffered output (called at campaign end and around failures).
+    fn flush(&mut self) {}
+}
+
+/// Cloneable, optionally-attached progress channel — the campaign analogue
+/// of [`ttmqo_sim::TraceHandle`]. The default disabled handle costs one
+/// `Option` check per emission site and keeps campaign behaviour identical
+/// to a build without the observatory.
+#[derive(Clone, Default)]
+pub struct ProgressHandle(Option<Arc<Mutex<dyn ProgressSink>>>);
+
+impl fmt::Debug for ProgressHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProgressHandle")
+            .field(&if self.0.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+impl ProgressHandle {
+    /// The no-op handle (same as `ProgressHandle::default()`).
+    pub fn disabled() -> Self {
+        ProgressHandle(None)
+    }
+
+    /// A handle delivering events to `sink`.
+    pub fn new(sink: impl ProgressSink + 'static) -> Self {
+        ProgressHandle(Some(Arc::new(Mutex::new(sink))))
+    }
+
+    /// A handle over an existing shared sink — lets a caller keep a typed
+    /// `Arc<Mutex<MemoryProgress>>` clone to read the events back.
+    pub fn shared(sink: Arc<Mutex<dyn ProgressSink>>) -> Self {
+        ProgressHandle(Some(sink))
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Delivers `event` (no-op when disabled).
+    pub fn emit(&self, event: &CampaignEvent) {
+        if let Some(sink) = &self.0 {
+            sink.lock().expect("progress sink poisoned").event(event);
+        }
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.lock().expect("progress sink poisoned").flush();
+        }
+    }
+}
+
+/// Sink writing progress as JSON lines: the [`progress_header`] first, then
+/// one [`CampaignEvent::to_json`] object per line.
+pub struct JsonLinesProgress {
+    out: Box<dyn Write + Send>,
+}
+
+impl JsonLinesProgress {
+    /// Wraps any writer (the header is written immediately).
+    pub fn new(mut out: impl Write + Send + 'static) -> std::io::Result<Self> {
+        writeln!(out, "{}", progress_header())?;
+        Ok(JsonLinesProgress { out: Box::new(out) })
+    }
+
+    /// Creates (truncating) a progress file at `path`, buffered.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Self::new(std::io::BufWriter::new(file))
+    }
+}
+
+impl fmt::Debug for JsonLinesProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesProgress").finish_non_exhaustive()
+    }
+}
+
+impl ProgressSink for JsonLinesProgress {
+    fn event(&mut self, event: &CampaignEvent) {
+        // Ignore write errors at event granularity (telemetry must never
+        // abort the campaign); flush reports them implicitly.
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// In-memory sink for tests: keeps every event.
+#[derive(Debug, Default)]
+pub struct MemoryProgress {
+    events: Vec<CampaignEvent>,
+}
+
+impl MemoryProgress {
+    /// The events received so far, in emission order.
+    pub fn events(&self) -> &[CampaignEvent] {
+        &self.events
+    }
+}
+
+impl ProgressSink for MemoryProgress {
+    fn event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// One axis value's aggregate over the cell records that carry it: exact
+/// sums of the integer counters, deterministic-order sums of the f64
+/// fields, min/max where a sum is meaningless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisMarginal {
+    /// The axis value (a workload name, a strategy name, a grid side
+    /// rendered as text, a fault-plan name).
+    pub key: String,
+    /// Cells aggregated.
+    pub cells: usize,
+    /// Sum of the cells' wall-clock times, ms.
+    pub total_wall_ms: f64,
+    /// Sum of engine events processed.
+    pub events_processed: u64,
+    /// Sum of timer-phase engine events.
+    pub timer_events: u64,
+    /// Sum of deliver-phase engine events.
+    pub deliver_events: u64,
+    /// Sum of command-phase engine events.
+    pub command_events: u64,
+    /// Sum of maintenance-phase engine events.
+    pub maintenance_events: u64,
+    /// Sum of fault-phase engine events.
+    pub fault_events: u64,
+    /// Sum of `(query, epoch)` answers attributed to user queries.
+    pub answer_epochs: u64,
+    /// Sum of whole-run energy, mJ.
+    pub energy_mj: f64,
+    /// Max over the cells' hottest-node energies, mJ.
+    pub max_node_energy_mj: f64,
+    /// Worst per-query epoch completeness across the cells.
+    pub min_epoch_ratio: f64,
+    /// Sum of repairs triggered.
+    pub repairs_triggered: u64,
+    /// Sum of audit violations (0 when the cells ran unaudited).
+    pub audit_violations: u64,
+}
+
+impl AxisMarginal {
+    fn new(key: String) -> Self {
+        AxisMarginal {
+            key,
+            cells: 0,
+            total_wall_ms: 0.0,
+            events_processed: 0,
+            timer_events: 0,
+            deliver_events: 0,
+            command_events: 0,
+            maintenance_events: 0,
+            fault_events: 0,
+            answer_epochs: 0,
+            energy_mj: 0.0,
+            max_node_energy_mj: 0.0,
+            min_epoch_ratio: 1.0,
+            repairs_triggered: 0,
+            audit_violations: 0,
+        }
+    }
+
+    fn add(&mut self, rec: &CellRecord) {
+        self.cells += 1;
+        self.total_wall_ms += rec.wall_clock_ms;
+        self.events_processed += rec.engine.events_processed;
+        self.timer_events += rec.engine.timer_events;
+        self.deliver_events += rec.engine.deliver_events;
+        self.command_events += rec.engine.command_events;
+        self.maintenance_events += rec.engine.maintenance_events;
+        self.fault_events += rec.engine.fault_events;
+        self.answer_epochs += rec.answer_epochs as u64;
+        self.energy_mj += rec.energy_mj;
+        self.max_node_energy_mj = self.max_node_energy_mj.max(rec.max_node_energy_mj);
+        self.min_epoch_ratio = self.min_epoch_ratio.min(rec.completeness.min_epoch_ratio());
+        self.repairs_triggered += rec.completeness.repairs_triggered;
+        self.audit_violations += cell_violations(rec);
+    }
+
+    fn to_json(&self) -> String {
+        // Exhaustive destructuring: every marginal field gets a
+        // serialization decision or the build breaks.
+        let AxisMarginal {
+            key,
+            cells,
+            total_wall_ms,
+            events_processed,
+            timer_events,
+            deliver_events,
+            command_events,
+            maintenance_events,
+            fault_events,
+            answer_epochs,
+            energy_mj,
+            max_node_energy_mj,
+            min_epoch_ratio,
+            repairs_triggered,
+            audit_violations,
+        } = self;
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json_str(&mut out, "key", key);
+        out.push(',');
+        json_num(&mut out, "cells", &cells.to_string());
+        out.push(',');
+        json_num(&mut out, "total_wall_ms", &json_f64(*total_wall_ms));
+        out.push(',');
+        json_num(&mut out, "events_processed", &events_processed.to_string());
+        out.push(',');
+        json_num(&mut out, "timer_events", &timer_events.to_string());
+        out.push(',');
+        json_num(&mut out, "deliver_events", &deliver_events.to_string());
+        out.push(',');
+        json_num(&mut out, "command_events", &command_events.to_string());
+        out.push(',');
+        json_num(
+            &mut out,
+            "maintenance_events",
+            &maintenance_events.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "fault_events", &fault_events.to_string());
+        out.push(',');
+        json_num(&mut out, "answer_epochs", &answer_epochs.to_string());
+        out.push(',');
+        json_num(&mut out, "energy_mj", &json_f64(*energy_mj));
+        out.push(',');
+        json_num(
+            &mut out,
+            "max_node_energy_mj",
+            &json_f64(*max_node_energy_mj),
+        );
+        out.push(',');
+        json_num(&mut out, "min_epoch_ratio", &json_f64(*min_epoch_ratio));
+        out.push(',');
+        json_num(
+            &mut out,
+            "repairs_triggered",
+            &repairs_triggered.to_string(),
+        );
+        out.push(',');
+        json_num(&mut out, "audit_violations", &audit_violations.to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// One of the campaign's most expensive cells, by engine events processed
+/// (a deterministic cost proxy — wall time would rank differently on every
+/// machine; it rides along as information).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotCell {
+    /// Position in the deterministic cell order.
+    pub index: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Strategy coordinate.
+    pub strategy: Strategy,
+    /// Grid-side coordinate.
+    pub grid_n: usize,
+    /// Field-seed coordinate.
+    pub field_seed: u64,
+    /// Fault-plan name.
+    pub fault: String,
+    /// Engine events the cell processed (the ranking key).
+    pub events_processed: u64,
+    /// The cell's wall-clock time, ms (informational, machine-dependent).
+    pub cell_wall_ms: f64,
+    /// Engine events per wall-clock second (informational).
+    pub events_per_sec: f64,
+}
+
+impl HotspotCell {
+    fn to_json(&self) -> String {
+        let HotspotCell {
+            index,
+            workload,
+            strategy,
+            grid_n,
+            field_seed,
+            fault,
+            events_processed,
+            cell_wall_ms,
+            events_per_sec,
+        } = self;
+        let mut out = String::with_capacity(160);
+        out.push('{');
+        push_cell_coords(
+            &mut out,
+            *index,
+            workload,
+            *strategy,
+            *grid_n,
+            *field_seed,
+            fault,
+        );
+        out.push(',');
+        json_num(&mut out, "events_processed", &events_processed.to_string());
+        out.push(',');
+        json_num(&mut out, "cell_wall_ms", &json_f64(*cell_wall_ms));
+        out.push(',');
+        json_num(&mut out, "events_per_sec", &json_f64(*events_per_sec));
+        out.push('}');
+        out
+    }
+}
+
+/// Engine events per wall-clock second (0 when the wall time is 0 — a
+/// degenerate timer, not a division).
+pub fn events_per_sec(events_processed: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        events_processed as f64 / (wall_ms / 1000.0)
+    } else {
+        0.0
+    }
+}
+
+/// Audit violations carried by one cell record (0 when unaudited).
+fn cell_violations(rec: &CellRecord) -> u64 {
+    rec.audit.as_ref().map_or(0, |a| a.violations.len() as u64)
+}
+
+/// Cross-cell aggregation of a campaign: totals, per-axis marginals, and
+/// the top-[`HOTSPOT_TOP_N`] hotspot cells — the `campaign-report.json`
+/// document.
+///
+/// Every integer field is an exact sum over the records; each axis's
+/// marginals therefore partition the totals (the sum of any axis's
+/// `events_processed` equals the campaign's `events_processed`, and so on
+/// for every summed counter). The f64 sums fold in deterministic cell
+/// order, so recomputing them from the same records is bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRollup {
+    /// Cells aggregated.
+    pub cells: usize,
+    /// Cells that carried an [`ttmqo_sim::AuditReport`].
+    pub audited_cells: usize,
+    /// Total audit violations across every record.
+    pub audit_violations: u64,
+    /// Sum of per-cell wall-clock times, ms (CPU time, not campaign
+    /// elapsed time — parallel campaigns overlap cells).
+    pub total_wall_ms: f64,
+    /// Mean per-cell wall-clock time, ms (0 for an empty campaign).
+    pub mean_wall_ms: f64,
+    /// The slowest single cell's wall-clock time, ms.
+    pub max_wall_ms: f64,
+    /// Sum of engine events processed.
+    pub events_processed: u64,
+    /// Sum of `(query, epoch)` answers attributed to user queries.
+    pub answer_epochs: u64,
+    /// Sum of whole-run energy, mJ.
+    pub energy_mj: f64,
+    /// Max over the cells' hottest-node energies, mJ.
+    pub max_node_energy_mj: f64,
+    /// Marginals over the workload axis, first-seen order.
+    pub by_workload: Vec<AxisMarginal>,
+    /// Marginals over the strategy axis, first-seen order.
+    pub by_strategy: Vec<AxisMarginal>,
+    /// Marginals over the grid-size axis, first-seen order.
+    pub by_grid: Vec<AxisMarginal>,
+    /// Marginals over the fault-plan axis, first-seen order.
+    pub by_fault: Vec<AxisMarginal>,
+    /// The campaign's most expensive cells by `events_processed`
+    /// (deterministic; ties break toward the earlier cell index).
+    pub hotspots: Vec<HotspotCell>,
+}
+
+impl CampaignRollup {
+    /// Aggregates `records` (in campaign cell order — index `i` of the
+    /// slice is cell index `i`).
+    pub fn from_records(records: &[CellRecord]) -> Self {
+        let mut rollup = CampaignRollup {
+            cells: records.len(),
+            audited_cells: 0,
+            audit_violations: 0,
+            total_wall_ms: 0.0,
+            mean_wall_ms: 0.0,
+            max_wall_ms: 0.0,
+            events_processed: 0,
+            answer_epochs: 0,
+            energy_mj: 0.0,
+            max_node_energy_mj: 0.0,
+            by_workload: Vec::new(),
+            by_strategy: Vec::new(),
+            by_grid: Vec::new(),
+            by_fault: Vec::new(),
+            hotspots: Vec::new(),
+        };
+        fn axis_add(axis: &mut Vec<AxisMarginal>, key: String, rec: &CellRecord) {
+            match axis.iter_mut().find(|m| m.key == key) {
+                Some(m) => m.add(rec),
+                None => {
+                    let mut m = AxisMarginal::new(key);
+                    m.add(rec);
+                    axis.push(m);
+                }
+            }
+        }
+        for rec in records {
+            rollup.total_wall_ms += rec.wall_clock_ms;
+            rollup.max_wall_ms = rollup.max_wall_ms.max(rec.wall_clock_ms);
+            rollup.events_processed += rec.engine.events_processed;
+            rollup.answer_epochs += rec.answer_epochs as u64;
+            rollup.energy_mj += rec.energy_mj;
+            rollup.max_node_energy_mj = rollup.max_node_energy_mj.max(rec.max_node_energy_mj);
+            if rec.audit.is_some() {
+                rollup.audited_cells += 1;
+            }
+            rollup.audit_violations += cell_violations(rec);
+            axis_add(&mut rollup.by_workload, rec.workload.clone(), rec);
+            axis_add(&mut rollup.by_strategy, rec.strategy.to_string(), rec);
+            axis_add(&mut rollup.by_grid, rec.grid_n.to_string(), rec);
+            axis_add(&mut rollup.by_fault, rec.fault.clone(), rec);
+        }
+        if !records.is_empty() {
+            rollup.mean_wall_ms = rollup.total_wall_ms / records.len() as f64;
+        }
+        let mut ranked: Vec<usize> = (0..records.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            records[b]
+                .engine
+                .events_processed
+                .cmp(&records[a].engine.events_processed)
+                .then(a.cmp(&b))
+        });
+        rollup.hotspots = ranked
+            .into_iter()
+            .take(HOTSPOT_TOP_N)
+            .map(|i| {
+                let rec = &records[i];
+                HotspotCell {
+                    index: i,
+                    workload: rec.workload.clone(),
+                    strategy: rec.strategy,
+                    grid_n: rec.grid_n,
+                    field_seed: rec.field_seed,
+                    fault: rec.fault.clone(),
+                    events_processed: rec.engine.events_processed,
+                    cell_wall_ms: rec.wall_clock_ms,
+                    events_per_sec: events_per_sec(rec.engine.events_processed, rec.wall_clock_ms),
+                }
+            })
+            .collect();
+        rollup
+    }
+
+    /// Whether no audited cell reported a violation. An unaudited campaign
+    /// is vacuously clean — gate on `audited_cells` too if auditing was
+    /// supposed to be on.
+    pub fn is_clean(&self) -> bool {
+        self.audit_violations == 0
+    }
+
+    /// The single `campaign-report.json` object. Wall-clock fields end in
+    /// `_wall_ms` and are compared lower-better with a noise floor by
+    /// [`crate::compare`]; `audit_violations` leaves gate at exactly 0;
+    /// everything else is deterministic and compared exact.
+    pub fn to_json(&self) -> String {
+        // Exhaustive destructuring (the MetricsSnapshot idiom).
+        let CampaignRollup {
+            cells,
+            audited_cells,
+            audit_violations,
+            total_wall_ms,
+            mean_wall_ms,
+            max_wall_ms,
+            events_processed,
+            answer_epochs,
+            energy_mj,
+            max_node_energy_mj,
+            by_workload,
+            by_strategy,
+            by_grid,
+            by_fault,
+            hotspots,
+        } = self;
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        json_num(&mut out, "schema_version", &SCHEMA_VERSION.to_string());
+        out.push(',');
+        json_num(&mut out, "cells", &cells.to_string());
+        out.push(',');
+        json_num(&mut out, "audited_cells", &audited_cells.to_string());
+        out.push(',');
+        json_num(&mut out, "audit_violations", &audit_violations.to_string());
+        out.push(',');
+        json_num(&mut out, "total_wall_ms", &json_f64(*total_wall_ms));
+        out.push(',');
+        json_num(&mut out, "mean_wall_ms", &json_f64(*mean_wall_ms));
+        out.push(',');
+        json_num(&mut out, "max_wall_ms", &json_f64(*max_wall_ms));
+        out.push(',');
+        json_num(&mut out, "events_processed", &events_processed.to_string());
+        out.push(',');
+        json_num(&mut out, "answer_epochs", &answer_epochs.to_string());
+        out.push(',');
+        json_num(&mut out, "energy_mj", &json_f64(*energy_mj));
+        out.push(',');
+        json_num(
+            &mut out,
+            "max_node_energy_mj",
+            &json_f64(*max_node_energy_mj),
+        );
+        for (name, axis) in [
+            ("by_workload", by_workload),
+            ("by_strategy", by_strategy),
+            ("by_grid", by_grid),
+            ("by_fault", by_fault),
+        ] {
+            out.push_str(&format!(",\"{name}\":["));
+            for (i, m) in axis.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&m.to_json());
+            }
+            out.push(']');
+        }
+        out.push_str(",\"hotspots\":[");
+        for (i, h) in hotspots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&h.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human markdown summary: campaign totals, one table per axis, and
+    /// the hotspot table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# Campaign report\n\n");
+        out.push_str(&format!(
+            "- cells: {} ({} audited, {} audit violations)\n",
+            self.cells, self.audited_cells, self.audit_violations
+        ));
+        out.push_str(&format!(
+            "- wall: {:.1} ms total, {:.1} ms mean, {:.1} ms max per cell\n",
+            self.total_wall_ms, self.mean_wall_ms, self.max_wall_ms
+        ));
+        out.push_str(&format!(
+            "- engine events: {}, answer epochs: {}\n",
+            self.events_processed, self.answer_epochs
+        ));
+        out.push_str(&format!(
+            "- energy: {:.1} mJ total, {:.1} mJ hottest node\n",
+            self.energy_mj, self.max_node_energy_mj
+        ));
+        for (title, axis) in [
+            ("By workload", &self.by_workload),
+            ("By strategy", &self.by_strategy),
+            ("By grid", &self.by_grid),
+            ("By fault", &self.by_fault),
+        ] {
+            out.push_str(&format!("\n## {title}\n\n"));
+            out.push_str(
+                "| key | cells | wall ms | events | answers | energy mJ | min epoch ratio | repairs | violations |\n\
+                 |---|---|---|---|---|---|---|---|---|\n",
+            );
+            for m in axis {
+                out.push_str(&format!(
+                    "| {} | {} | {:.1} | {} | {} | {:.1} | {:.3} | {} | {} |\n",
+                    m.key,
+                    m.cells,
+                    m.total_wall_ms,
+                    m.events_processed,
+                    m.answer_epochs,
+                    m.energy_mj,
+                    m.min_epoch_ratio,
+                    m.repairs_triggered,
+                    m.audit_violations,
+                ));
+            }
+        }
+        out.push_str("\n## Hotspots (by engine events)\n\n");
+        out.push_str(
+            "| cell | workload | strategy | grid | fault | events | wall ms | events/s |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for h in &self.hotspots {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {:.1} | {:.0} |\n",
+                h.index,
+                h.workload,
+                h.strategy,
+                h.grid_n,
+                h.fault,
+                h.events_processed,
+                h.cell_wall_ms,
+                h.events_per_sec,
+            ));
+        }
+        out
+    }
+}
+
+impl CampaignReport {
+    /// The cross-cell rollup of this campaign's records (see
+    /// [`CampaignRollup::from_records`]).
+    pub fn rollup(&self) -> CampaignRollup {
+        CampaignRollup::from_records(&self.cells)
+    }
+
+    /// Total audit violations across every cell record (0 when the
+    /// campaign ran unaudited).
+    pub fn audit_violations(&self) -> u64 {
+        self.cells.iter().map(cell_violations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttmqo_sim::{AuditCheck, AuditReport, AuditViolation, EngineStats};
+
+    fn record(
+        workload: &str,
+        strategy: Strategy,
+        grid_n: usize,
+        fault: &str,
+        events: u64,
+        violations: usize,
+    ) -> CellRecord {
+        CellRecord {
+            workload: workload.to_string(),
+            strategy,
+            grid_n,
+            field_seed: 7,
+            fault: fault.to_string(),
+            wall_clock_ms: 10.0,
+            workload_events: 2,
+            queries_answered: 2,
+            answer_epochs: 4,
+            avg_synthetic_count: 1.0,
+            avg_benefit_ratio: 0.0,
+            optimizer: None,
+            completeness: Default::default(),
+            metrics: Default::default(),
+            engine: EngineStats {
+                events_processed: events,
+                timer_events: events,
+                ..EngineStats::default()
+            },
+            trace_file: None,
+            energy_mj: 100.0,
+            max_node_energy_mj: 10.0,
+            timeseries_file: None,
+            profile_file: None,
+            audit: (violations > 0).then(|| AuditReport {
+                checks_run: 5,
+                checks_skipped: 0,
+                violations: (0..violations)
+                    .map(|i| AuditViolation {
+                        check: AuditCheck::PhaseAccounting,
+                        subject: format!("seeded {i}"),
+                        expected: "0".to_string(),
+                        actual: "1".to_string(),
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    fn sample_records() -> Vec<CellRecord> {
+        vec![
+            record("A", Strategy::Baseline, 4, "none", 100, 0),
+            record("A", Strategy::TwoTier, 4, "none", 80, 0),
+            record("B", Strategy::Baseline, 8, "crash", 400, 2),
+            record("B", Strategy::TwoTier, 8, "crash", 300, 0),
+        ]
+    }
+
+    #[test]
+    fn marginals_partition_the_totals_on_every_axis() {
+        let records = sample_records();
+        let rollup = CampaignRollup::from_records(&records);
+        assert_eq!(rollup.cells, 4);
+        assert_eq!(rollup.events_processed, 880);
+        assert_eq!(rollup.answer_epochs, 16);
+        assert_eq!(rollup.audited_cells, 1);
+        assert_eq!(rollup.audit_violations, 2);
+        assert!(!rollup.is_clean());
+        for axis in [
+            &rollup.by_workload,
+            &rollup.by_strategy,
+            &rollup.by_grid,
+            &rollup.by_fault,
+        ] {
+            assert_eq!(
+                axis.iter().map(|m| m.events_processed).sum::<u64>(),
+                rollup.events_processed
+            );
+            assert_eq!(axis.iter().map(|m| m.cells).sum::<usize>(), rollup.cells);
+            assert_eq!(
+                axis.iter().map(|m| m.audit_violations).sum::<u64>(),
+                rollup.audit_violations
+            );
+        }
+        // First-seen axis order follows cell order.
+        assert_eq!(rollup.by_workload[0].key, "A");
+        assert_eq!(rollup.by_strategy[0].key, "baseline");
+        assert_eq!(rollup.by_fault[1].key, "crash");
+    }
+
+    #[test]
+    fn hotspots_rank_by_events_with_index_tiebreak() {
+        let mut records = sample_records();
+        records.push(record("C", Strategy::Baseline, 4, "none", 400, 0));
+        let rollup = CampaignRollup::from_records(&records);
+        assert_eq!(rollup.hotspots.len(), 5);
+        // 400 (index 2) ties 400 (index 4): the earlier cell wins.
+        assert_eq!(rollup.hotspots[0].index, 2);
+        assert_eq!(rollup.hotspots[1].index, 4);
+        assert_eq!(rollup.hotspots[2].events_processed, 300);
+        // Top-N clamps to the record count.
+        let small = CampaignRollup::from_records(&records[..2]);
+        assert_eq!(small.hotspots.len(), 2);
+    }
+
+    #[test]
+    fn rollup_json_is_wellformed_and_single_line() {
+        let rollup = CampaignRollup::from_records(&sample_records());
+        let json = rollup.to_json();
+        assert!(json.starts_with("{\"schema_version\":"));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"audit_violations\":2"));
+        assert!(json.contains("\"by_strategy\":[{\"key\":\"baseline\""));
+        assert!(json.contains("\"hotspots\":[{\"index\":2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+
+        let md = rollup.to_markdown();
+        assert!(md.contains("# Campaign report"));
+        assert!(md.contains("## By strategy"));
+        assert!(md.contains("| two-tier |"));
+        assert!(md.contains("## Hotspots"));
+    }
+
+    #[test]
+    fn empty_campaign_rolls_up_to_zeroes() {
+        let rollup = CampaignRollup::from_records(&[]);
+        assert_eq!(rollup.cells, 0);
+        assert_eq!(rollup.mean_wall_ms, 0.0);
+        assert!(rollup.hotspots.is_empty());
+        assert!(rollup.is_clean());
+        let json = rollup.to_json();
+        assert!(json.contains("\"by_workload\":[]"));
+        assert!(json.contains("\"hotspots\":[]"));
+    }
+
+    #[test]
+    fn progress_events_serialize_every_variant() {
+        let events = [
+            CampaignEvent::CampaignStarted {
+                cells: 4,
+                threads: 2,
+                warm_start: true,
+            },
+            CampaignEvent::CellStarted {
+                wall_ms: 1.5,
+                index: 0,
+                workload: "A".to_string(),
+                strategy: Strategy::TwoTier,
+                grid_n: 4,
+                field_seed: 7,
+                fault: "none".to_string(),
+                warm: true,
+            },
+            CampaignEvent::CellFinished {
+                wall_ms: 9.0,
+                index: 0,
+                workload: "A".to_string(),
+                strategy: Strategy::TwoTier,
+                grid_n: 4,
+                field_seed: 7,
+                fault: "none".to_string(),
+                warm: true,
+                cell_wall_ms: 7.5,
+                sim_ms: 20480,
+                events_processed: 1000,
+                events_per_sec: 133333.0,
+                audit_violations: 0,
+                completed: 1,
+                total: 4,
+                eta_ms: Some(22.5),
+            },
+            CampaignEvent::CellFailed {
+                wall_ms: 10.0,
+                index: 1,
+                workload: "A".to_string(),
+                strategy: Strategy::Baseline,
+                grid_n: 4,
+                field_seed: 7,
+                fault: "none".to_string(),
+            },
+            CampaignEvent::Heartbeat {
+                wall_ms: 11.0,
+                completed: 1,
+                running: 2,
+                total: 4,
+                eta_ms: None,
+            },
+            CampaignEvent::CampaignFinished {
+                wall_ms: 30.0,
+                cells: 4,
+                warm_prefix_hits: 4,
+                audit_violations: 0,
+            },
+        ];
+        for ev in &events {
+            let json = ev.to_json();
+            assert!(
+                json.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind())),
+                "{json}"
+            );
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('"').count() % 2, 0);
+        }
+        assert!(events[2].to_json().contains("\"eta_ms\":22.5"));
+        assert!(events[4].to_json().contains("\"eta_ms\":null"));
+        assert!(progress_header().contains("ttmqo-campaign-progress"));
+    }
+
+    #[test]
+    fn progress_handle_and_sinks_deliver_in_order() {
+        let sink = Arc::new(Mutex::new(MemoryProgress::default()));
+        let handle = ProgressHandle::shared(sink.clone());
+        assert!(handle.is_enabled());
+        assert!(!ProgressHandle::disabled().is_enabled());
+        handle.emit(&CampaignEvent::CampaignStarted {
+            cells: 1,
+            threads: 1,
+            warm_start: false,
+        });
+        handle.emit(&CampaignEvent::CampaignFinished {
+            wall_ms: 1.0,
+            cells: 1,
+            warm_prefix_hits: 0,
+            audit_violations: 0,
+        });
+        handle.flush();
+        let sink = sink.lock().unwrap();
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events()[0].kind(), "campaign-started");
+        assert_eq!(sink.events()[1].kind(), "campaign-finished");
+
+        // The JSONL sink writes a header plus one line per event.
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let handle = ProgressHandle::new(JsonLinesProgress::new(buf.clone()).unwrap());
+        handle.emit(&CampaignEvent::Heartbeat {
+            wall_ms: 0.5,
+            completed: 0,
+            running: 1,
+            total: 1,
+            eta_ms: None,
+        });
+        handle.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], progress_header());
+        assert!(lines[1].starts_with("{\"ev\":\"heartbeat\""));
+    }
+
+    #[test]
+    fn events_per_sec_guards_the_zero_wall_case() {
+        assert_eq!(events_per_sec(1000, 0.0), 0.0);
+        assert_eq!(events_per_sec(1000, 500.0), 2000.0);
+    }
+}

@@ -20,11 +20,11 @@ use crate::innetwork::{TtmqoApp, TtmqoConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use ttmqo_query::{EpochAnswer, Query, QueryId, Selection, BASE_EPOCH_MS};
 use ttmqo_sim::{
-    CompletenessReport, CorrelatedField, EngineStats, FaultPlan, FaultSchedule, Metrics, NodeId,
-    NodeTimeseries, ProfileHandle, ProfilePhase, ProfileReport, QueryCompleteness, RadioParams,
-    Restorable, SensorField, SimConfig, SimTime, Simulator, SnapReader, SnapWriter, Snapshot,
-    SnapshotBuilder, SnapshotDocument, SnapshotError, TimeseriesConfig, Topology, TraceEvent,
-    TraceHandle, UniformField, WindowRecorder, SECTION_RUNNER, SECTION_SIMULATOR,
+    AuditReport, CompletenessReport, CorrelatedField, EngineStats, FaultPlan, FaultSchedule,
+    Metrics, NodeId, NodeTimeseries, ProfileHandle, ProfilePhase, ProfileReport, QueryCompleteness,
+    RadioParams, Restorable, SensorField, SimConfig, SimTime, Simulator, SnapReader, SnapWriter,
+    Snapshot, SnapshotBuilder, SnapshotDocument, SnapshotError, TimeseriesConfig, Topology,
+    TraceEvent, TraceHandle, UniformField, WindowRecorder, SECTION_RUNNER, SECTION_SIMULATOR,
 };
 use ttmqo_stats::{EmpiricalDistribution, Histogram, LevelStats, SelectivityEstimator};
 use ttmqo_tinydb::{Command, Output, Srt, TinyDbApp, TinyDbConfig};
@@ -172,6 +172,13 @@ pub struct ExperimentConfig {
     /// simulated state, so the run stays bit-identical either way (the
     /// `trace` contract).
     pub profile: ProfileHandle,
+    /// Run the standing invariant auditor over the finished run and fill
+    /// [`RunReport::audit`]. Strictly post-hoc arithmetic over artifacts
+    /// the run already produced — no RNG draws, no mid-run branches — so
+    /// an audited run is bit-identical to an unaudited one (the `trace`
+    /// contract). Violations are *reported*, never panicked on: callers
+    /// (campaigns, CI gates) decide how loudly to fail.
+    pub audit: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -193,6 +200,7 @@ impl Default for ExperimentConfig {
             trace: TraceHandle::disabled(),
             timeseries: None,
             profile: ProfileHandle::disabled(),
+            audit: false,
         }
     }
 }
@@ -232,6 +240,10 @@ pub struct RunReport {
     /// [`ExperimentConfig::profile`] was enabled. Wall-clock derived and
     /// therefore machine-dependent — excluded from determinism comparisons.
     pub profile: Option<ProfileReport>,
+    /// Standing invariant audit; `Some` iff [`ExperimentConfig::audit`]
+    /// was set. Check the report's `is_clean()` — the runner itself never
+    /// fails a run over a violation.
+    pub audit: Option<AuditReport>,
 }
 
 impl RunReport {
@@ -1371,6 +1383,26 @@ impl RunSession {
                 crash_times_ms,
             }
         });
+        let engine = self.sim.engine_stats();
+        let profile = self.config.profile.report();
+        // The standing invariant auditor: pure post-hoc arithmetic over the
+        // artifacts assembled above, so enabling it cannot perturb the run
+        // it is auditing. The trace↔answer reconciliation needs the trace
+        // *text*, which the runner never holds — campaign cells append it
+        // after reading the written file back.
+        let audit = self.config.audit.then(|| {
+            let mut audit = AuditReport::new();
+            audit.check_engine(&engine);
+            audit.check_profile(profile.as_ref(), &engine);
+            audit.check_energy(&metrics, &energy_profile, energy_mj, max_node_energy_mj);
+            audit.check_completeness(
+                &completeness,
+                metrics.orphaned_node_count(),
+                engine.fault_events,
+                !self.config.faults.is_empty(),
+            );
+            audit
+        });
         RunReport {
             strategy: self.config.strategy,
             metrics,
@@ -1379,11 +1411,12 @@ impl RunSession {
             avg_benefit_ratio: self.weighted_ratio / total,
             optimizer_stats: self.optimizer.map(|o| o.stats()),
             completeness,
-            engine: self.sim.engine_stats(),
+            engine,
             energy_mj,
             max_node_energy_mj,
             timeseries,
-            profile: self.config.profile.report(),
+            profile,
+            audit,
         }
     }
 

@@ -1,7 +1,11 @@
 //! Campaign-runner integration tests: the parallel executor must be an
 //! observational no-op relative to running each cell alone, and the report
-//! must carry exactly one record per cell.
+//! must carry exactly one record per cell. The observatory layers (progress
+//! telemetry, the standing auditor, the cross-cell rollup) get the same
+//! treatment: attaching them must not move a single bit of any cell record.
 
+use std::sync::{Arc, Mutex};
+use ttmqo_core::observe::{CampaignEvent, MemoryProgress, ProgressHandle, ProgressSink};
 use ttmqo_core::{
     run_campaign_sequential, run_campaign_with, CampaignSpec, ExperimentConfig, FieldKind,
     Strategy, WorkloadEvent,
@@ -98,6 +102,110 @@ fn campaign_rerun_is_bit_stable() {
         assert_eq!(x.metrics, y.metrics);
         assert_eq!(x.answer_epochs, y.answer_epochs);
     }
+}
+
+#[test]
+fn observed_audited_campaign_is_bit_identical_to_a_bare_run() {
+    // The whole observatory — progress telemetry with a fast heartbeat plus
+    // the standing auditor — attached to the paper sweep must reproduce the
+    // bare run's cell records bit for bit: telemetry never draws from any
+    // simulation RNG and never branches on simulated state.
+    let bare = run_campaign_with(&paper_spec(), 3);
+
+    let sink: Arc<Mutex<MemoryProgress>> = Arc::new(Mutex::new(MemoryProgress::default()));
+    let spec = paper_spec()
+        .audit()
+        .heartbeat_ms(1)
+        .progress_handle(ProgressHandle::shared(
+            sink.clone() as Arc<Mutex<dyn ProgressSink>>
+        ));
+    let observed = run_campaign_with(&spec, 3);
+
+    assert_eq!(bare.cells.len(), observed.cells.len());
+    for (b, o) in bare.cells.iter().zip(&observed.cells) {
+        let at = format!("{}/{}/{}", b.workload, b.strategy, b.grid_n);
+        assert_eq!(b.metrics, o.metrics, "metrics differ at {at}");
+        assert_eq!(b.engine, o.engine, "engine stats differ at {at}");
+        assert_eq!(b.answer_epochs, o.answer_epochs, "{at}");
+        assert_eq!(b.optimizer, o.optimizer, "{at}");
+        assert_eq!(b.energy_mj, o.energy_mj, "{at}");
+        // The only permitted difference: the audited run carries a (clean)
+        // audit report where the bare run carries none.
+        assert!(b.audit.is_none(), "bare cell must not carry an audit");
+        let audit = o.audit.as_ref().expect("audited cell carries a report");
+        assert!(audit.is_clean(), "healthy sweep must audit clean at {at}");
+    }
+
+    // The telemetry channel saw the whole lifecycle, in a consistent order.
+    let events = sink.lock().unwrap().events().to_vec();
+    assert!(matches!(
+        events.first(),
+        Some(CampaignEvent::CampaignStarted { .. })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(CampaignEvent::CampaignFinished {
+            audit_violations: 0,
+            ..
+        })
+    ));
+    let finished = events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::CellFinished { .. }))
+        .count();
+    assert_eq!(finished, observed.cells.len());
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::Heartbeat { .. })),
+        "a 1 ms heartbeat must tick at least once during the sweep"
+    );
+}
+
+#[test]
+fn rollup_marginals_reconcile_with_cell_record_sums() {
+    let spec = paper_spec().audit();
+    let report = run_campaign_with(&spec, 4);
+    let rollup = report.rollup();
+
+    assert_eq!(rollup.cells, report.cells.len());
+    assert_eq!(rollup.audited_cells, report.cells.len());
+    assert_eq!(rollup.audit_violations, 0);
+    assert!(rollup.is_clean());
+
+    // Exact integer reconciliation: every axis partitions the totals.
+    let events: u64 = report.cells.iter().map(|c| c.engine.events_processed).sum();
+    let answers: u64 = report.cells.iter().map(|c| c.answer_epochs as u64).sum();
+    assert_eq!(rollup.events_processed, events);
+    assert_eq!(rollup.answer_epochs, answers);
+    for (axis, marginals) in [
+        ("workload", &rollup.by_workload),
+        ("strategy", &rollup.by_strategy),
+        ("grid", &rollup.by_grid),
+        ("fault", &rollup.by_fault),
+    ] {
+        assert_eq!(
+            marginals.iter().map(|m| m.cells).sum::<usize>(),
+            rollup.cells,
+            "{axis} cells"
+        );
+        assert_eq!(
+            marginals.iter().map(|m| m.events_processed).sum::<u64>(),
+            events,
+            "{axis} events"
+        );
+        assert_eq!(
+            marginals.iter().map(|m| m.answer_epochs).sum::<u64>(),
+            answers,
+            "{axis} answers"
+        );
+    }
+
+    // The rollup document parses and carries the axes.
+    let json = rollup.to_json();
+    let parsed = ttmqo_core::compare::parse_json(&json).expect("rollup JSON parses");
+    assert!(parsed.get("by_strategy").is_some());
+    assert!(parsed.get("hotspots").is_some());
 }
 
 #[test]

@@ -264,6 +264,44 @@ fn profile_report_reconciles_with_engine_stats() {
 }
 
 #[test]
+fn auditing_leaves_the_golden_cell_untouched() {
+    // The standing invariant auditor runs strictly after the simulation —
+    // pure arithmetic over the finished run's counters. Arming it must not
+    // perturb the golden cell in any way: the RunReport (audit field aside)
+    // and the JSONL trace must be byte-identical to the unaudited run, and
+    // the audit itself must come back clean on a healthy cell.
+    let run = |audit: bool| {
+        let buf = SharedBuf::default();
+        let config = ExperimentConfig {
+            strategy: Strategy::TwoTier,
+            grid_n: 4,
+            duration: SimTime::from_ms(24 * 2048),
+            trace: TraceHandle::new(JsonLinesSink::new(buf.clone()).unwrap()),
+            audit,
+            ..ExperimentConfig::default()
+        };
+        let mut report = run_experiment(&config, &workload_a());
+        config.trace.flush();
+        let audit_report = report.audit.take();
+        let trace = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        (format!("{report:?}"), trace, audit_report)
+    };
+
+    let off = run(false);
+    let on = run(true);
+
+    assert_eq!(off.0, on.0, "RunReport diverged under auditing");
+    assert_eq!(off.1, on.1, "JSONL trace diverged under auditing");
+    assert!(off.2.is_none(), "unaudited run must not carry an audit");
+    let audit = on.2.expect("audited run carries an audit report");
+    assert!(
+        audit.is_clean(),
+        "healthy golden cell must audit clean, got: {audit}"
+    );
+    assert!(audit.checks_run > 0, "the auditor actually ran checks");
+}
+
+#[test]
 fn timeseries_leaves_the_golden_cell_untouched() {
     // Same contract as tracing: the windowed recorder mirrors counters the
     // engine already maintains, never draws from the simulation RNG, and

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod calendar;
 mod energy;
 mod engine;
@@ -83,6 +84,7 @@ mod timeseries;
 mod topology;
 mod trace;
 
+pub use audit::{AuditCheck, AuditReport, AuditViolation};
 pub use calendar::CalendarQueue;
 pub use energy::EnergyProfile;
 pub use engine::{Ctx, EngineStats, NodeApp, OutputRecord, SimConfig, Simulator};

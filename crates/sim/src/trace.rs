@@ -783,6 +783,26 @@ impl RingSink {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Renders the ring as trace JSONL: the [`trace_header`], a
+    /// `{"dropped_records":N,...}` marker when the ring evicted anything
+    /// (so [`summarize_trace`] reports the loss instead of passing the
+    /// text off as complete), then the retained records oldest-first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = trace_header();
+        out.push('\n');
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"dropped_records\":{},\"note\":\"ring-evicted\"}}\n",
+                self.dropped
+            ));
+        }
+        for rec in &self.records {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl TraceSink for RingSink {
@@ -886,9 +906,15 @@ pub struct TraceSummary {
     pub hop_distribution: BTreeMap<u64, u64>,
     /// Per-epoch rollups at `BASE_EPOCH_MS` granularity.
     pub rollups: Vec<EpochRollup>,
-    /// Non-empty lines that were neither a record (no `ev` field) nor a
-    /// header (no `schema_version` field) and were skipped.
+    /// Non-empty lines that were neither a record (no `ev` field), a
+    /// header (no `schema_version` field), nor a drop marker (no
+    /// `dropped_records` field) and were skipped.
     pub malformed_lines: u64,
+    /// Records the producing sink evicted before this text was written,
+    /// summed from drop-marker lines (`{"dropped_records":N,...}`) such as
+    /// the ones [`RingSink::to_jsonl`] emits. A nonzero count means the
+    /// trace is lossy even though every present line parsed cleanly.
+    pub dropped_records: u64,
     /// Whether the file ended in a byte-truncated partial record (a
     /// crash-time or mid-write trace). The partial line is excluded from
     /// every count rather than treated as malformed.
@@ -909,6 +935,110 @@ impl TraceSummary {
             .flatten()
             .fold((0u64, 0u64), |(s, n), &l| (s + l, n + 1));
         (n > 0).then(|| sum as f64 / n as f64)
+    }
+
+    /// Whether the summarized text is a complete record of the run: no
+    /// byte-truncated tail, no sink-evicted records, no malformed lines.
+    /// Reconciliation against a lossy trace proves nothing, so consumers
+    /// (the invariant auditor among them) gate on this.
+    pub fn is_lossless(&self) -> bool {
+        !self.truncated_tail && self.dropped_records == 0 && self.malformed_lines == 0
+    }
+
+    /// One JSON object with every summary field — the `trace_analyze
+    /// --json` payload. Per-query latency sample vectors are collapsed to
+    /// `{count, mean_ms}` (the samples can number in the hundreds of
+    /// thousands on soak traces; the human table shows the same moments).
+    pub fn to_json(&self) -> String {
+        // Exhaustive destructuring: a field added to the summary without a
+        // serialization decision here is a compile error.
+        let TraceSummary {
+            schema_version,
+            events,
+            by_kind,
+            answers_per_query,
+            nonempty_per_query,
+            latency_ms_per_query,
+            hop_distribution,
+            rollups,
+            malformed_lines,
+            dropped_records,
+            truncated_tail,
+        } = self;
+        let mut s = format!("{{\"schema_version\":{SCHEMA_VERSION}");
+        match schema_version {
+            Some(v) => s.push_str(&format!(",\"trace_schema_version\":{v}")),
+            None => s.push_str(",\"trace_schema_version\":null"),
+        }
+        s.push_str(&format!(
+            ",\"events\":{events},\"malformed_lines\":{malformed_lines},\
+             \"dropped_records\":{dropped_records},\"truncated_tail\":{truncated_tail},\
+             \"lossless\":{}",
+            self.is_lossless()
+        ));
+        s.push_str(",\"by_kind\":{");
+        for (i, (kind, n)) in by_kind.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{kind}\":{n}"));
+        }
+        s.push_str("},\"queries\":[");
+        for (i, (query, answers)) in answers_per_query.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let nonempty = nonempty_per_query.get(query).copied().unwrap_or(0);
+            let latencies = latency_ms_per_query
+                .get(query)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let mean = if latencies.is_empty() {
+                "null".to_string()
+            } else {
+                format!(
+                    "{}",
+                    latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+                )
+            };
+            s.push_str(&format!(
+                "{{\"query\":{query},\"answers\":{answers},\"nonempty\":{nonempty},\
+                 \"latency\":{{\"count\":{},\"mean_ms\":{mean}}}}}",
+                latencies.len()
+            ));
+        }
+        s.push_str("],\"hop_distribution\":{");
+        for (i, (hops, n)) in hop_distribution.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{hops}\":{n}"));
+        }
+        s.push_str("},\"rollups\":[");
+        for (i, r) in rollups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let EpochRollup {
+                epoch_ms,
+                tx,
+                collisions,
+                losses,
+                retries,
+                sleeps,
+                rows_delivered,
+                answers,
+                nonempty_answers,
+            } = r;
+            s.push_str(&format!(
+                "{{\"epoch_ms\":{epoch_ms},\"tx\":{tx},\"collisions\":{collisions},\
+                 \"losses\":{losses},\"retries\":{retries},\"sleeps\":{sleeps},\
+                 \"rows_delivered\":{rows_delivered},\"answers\":{answers},\
+                 \"nonempty_answers\":{nonempty_answers}}}"
+            ));
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -977,6 +1107,10 @@ pub fn summarize_trace(text: &str, epoch_len_ms: u64) -> Result<TraceSummary, Tr
                     });
                 }
                 summary.schema_version = Some(v);
+            } else if let Some(d) = json_u64_field(line, "dropped_records") {
+                // A drop marker from a bounded sink: the trace is lossy by
+                // this many records, but the marker itself is well-formed.
+                summary.dropped_records += d;
             } else {
                 summary.malformed_lines += 1;
             }
@@ -1568,5 +1702,69 @@ mod tests {
         ring.record(&rec);
         assert_eq!(ring.dropped(), u64::MAX);
         assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn ring_sink_jsonl_surfaces_evictions_to_the_summary() {
+        let mut ring = RingSink::new(2);
+        for t in [1000, 2000, 3000] {
+            ring.record(&TraceRecord {
+                time_us: t,
+                event: TraceEvent::Wake { node: NodeId(1) },
+            });
+        }
+        assert_eq!(ring.dropped(), 1);
+        let text = ring.to_jsonl();
+        let s = summarize_trace(&text, 2048).expect("marker is not a schema error");
+        assert_eq!(s.events, 2, "only retained records are counted");
+        assert_eq!(s.dropped_records, 1, "eviction surfaces in the summary");
+        assert_eq!(s.malformed_lines, 0, "the drop marker is not malformed");
+        assert!(!s.is_lossless(), "an evicting ring is a lossy trace");
+
+        // A ring that never evicted writes no marker and reads back
+        // lossless.
+        let mut full = RingSink::new(0);
+        full.record(&TraceRecord {
+            time_us: 1000,
+            event: TraceEvent::Wake { node: NodeId(1) },
+        });
+        let s = summarize_trace(&full.to_jsonl(), 2048).unwrap();
+        assert_eq!(s.dropped_records, 0);
+        assert!(s.is_lossless());
+        assert!(!full.to_jsonl().contains("dropped_records"));
+    }
+
+    #[test]
+    fn summary_json_is_wellformed_and_flags_lossiness() {
+        let mut text = trace_header();
+        text.push('\n');
+        text.push_str(
+            &TraceRecord {
+                time_us: 2_400_000,
+                event: TraceEvent::AnswerMapped {
+                    user: QueryId(1),
+                    synthetic: QueryId(1 << 20),
+                    epoch_ms: 2048,
+                    rows: 1,
+                    nonempty: true,
+                    latency_ms: 352,
+                },
+            }
+            .to_json(),
+        );
+        text.push('\n');
+        let json = summarize_trace(&text, 2048).unwrap().to_json();
+        assert!(json.contains("\"events\":1"));
+        assert!(json.contains("\"lossless\":true"));
+        assert!(json.contains("\"query\":1"));
+        assert!(json.contains("\"mean_ms\":352"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // The same trace behind an evicting ring reports itself lossy.
+        text.push_str("{\"dropped_records\":5,\"note\":\"ring-evicted\"}\n");
+        let json = summarize_trace(&text, 2048).unwrap().to_json();
+        assert!(json.contains("\"dropped_records\":5"));
+        assert!(json.contains("\"lossless\":false"));
     }
 }

@@ -23,8 +23,12 @@
 //! ```text
 //! cargo run --release --example report_diff -- \
 //!     bench/baselines/BENCH_engine.json crates/bench/BENCH_engine.json \
-//!     [--threshold 0.25]
+//!     [--threshold 0.25] [--json]
 //! ```
+//!
+//! With `--json` the comparison is emitted as one machine-readable JSON
+//! object on stdout (`CompareReport::to_json`); the exit code is unchanged,
+//! so scripted callers can both parse the verdicts and gate on the status.
 
 use std::process::ExitCode;
 
@@ -34,9 +38,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut opts = CompareOptions::default();
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => json = true,
             "--threshold" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
@@ -56,7 +62,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     let [baseline_path, current_path] = paths.as_slice() else {
-        eprintln!("usage: report_diff <baseline.json> <current.json> [--threshold 0.25]");
+        eprintln!("usage: report_diff <baseline.json> <current.json> [--threshold 0.25] [--json]");
         return ExitCode::FAILURE;
     };
     let read = |path: &str| match std::fs::read_to_string(path) {
@@ -85,6 +91,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if json {
+        println!("{}", report.to_json());
+        return if report.is_pass() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     println!(
         "{} vs {} (timing threshold {:.0}%)",
         baseline_path,

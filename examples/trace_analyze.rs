@@ -17,8 +17,13 @@
 //!
 //! ```text
 //! cargo run --release --example trace_analyze -- traces/trace-0-....jsonl \
-//!     [--epoch-ms 2048] [--chrome chrome.json] [--profile profile-0-....json]
+//!     [--epoch-ms 2048] [--chrome chrome.json] [--profile profile-0-....json] \
+//!     [--json]
 //! ```
+//!
+//! With `--json` the summary is emitted as one machine-readable JSON object
+//! on stdout (`TraceSummary::to_json`) instead of the human tables; `--chrome`
+//! and `--profile` still work, with their status lines moved to stderr.
 
 use std::process::ExitCode;
 
@@ -30,9 +35,11 @@ fn main() -> ExitCode {
     let mut chrome_out: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut epoch_ms: u64 = 2048;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => json = true,
             "--chrome" => {
                 i += 1;
                 chrome_out = args.get(i).cloned();
@@ -70,7 +77,7 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         eprintln!(
             "usage: trace_analyze <trace.jsonl> [--epoch-ms 2048] \
-             [--chrome out.json] [--profile profile.json]"
+             [--chrome out.json] [--profile profile.json] [--json]"
         );
         return ExitCode::FAILURE;
     };
@@ -89,21 +96,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match summary.schema_version {
-        Some(v) => println!("trace {path} (schema v{v})"),
-        None => println!("trace {path} (no schema header)"),
-    }
-    println!("{} events", summary.events);
-    if summary.malformed_lines > 0 {
-        println!("{} malformed lines skipped", summary.malformed_lines);
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        match summary.schema_version {
+            Some(v) => println!("trace {path} (schema v{v})"),
+            None => println!("trace {path} (no schema header)"),
+        }
+        println!("{} events", summary.events);
+        if summary.malformed_lines > 0 {
+            println!("{} malformed lines skipped", summary.malformed_lines);
+        }
+        if summary.dropped_records > 0 {
+            println!(
+                "{} records dropped at capture time (ring eviction)",
+                summary.dropped_records
+            );
+        }
+        if summary.truncated_tail {
+            println!("final line truncated (crash-time trace tail tolerated)");
+        }
+
+        println!("\nevents by kind:");
+        for (kind, n) in &summary.by_kind {
+            println!("  {kind:<20} {n:>8}");
+        }
     }
 
-    println!("\nevents by kind:");
-    for (kind, n) in &summary.by_kind {
-        println!("  {kind:<20} {n:>8}");
-    }
-
-    if !summary.answers_per_query.is_empty() {
+    if !json && !summary.answers_per_query.is_empty() {
         println!("\nper-query answers:");
         println!(
             "  {:<8} {:>8} {:>9} {:>13}",
@@ -130,14 +150,14 @@ fn main() -> ExitCode {
         );
     }
 
-    if !summary.hop_distribution.is_empty() {
+    if !json && !summary.hop_distribution.is_empty() {
         println!("\nhop distribution (delivered provenances):");
         for (hops, n) in &summary.hop_distribution {
             println!("  {hops:>2} hops  {n:>8}");
         }
     }
 
-    if !summary.rollups.is_empty() {
+    if !json && !summary.rollups.is_empty() {
         println!("\nper-epoch rollups ({epoch_ms} ms buckets):");
         println!(
             "  {:>9} {:>6} {:>5} {:>6} {:>7} {:>6} {:>5} {:>8} {:>8}",
@@ -175,7 +195,7 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    if let Some(report) = &profile {
+    if let Some(report) = profile.as_ref().filter(|_| !json) {
         println!(
             "\nper-phase profile ({}):",
             profile_path.as_deref().unwrap()
@@ -198,19 +218,22 @@ fn main() -> ExitCode {
     }
 
     if let Some(out) = chrome_out {
-        let json = chrome_trace_with_profile(&text, profile.as_ref());
-        if let Err(e) = std::fs::write(&out, json) {
+        let chrome_json = chrome_trace_with_profile(&text, profile.as_ref());
+        if let Err(e) = std::fs::write(&out, chrome_json) {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::FAILURE;
         }
-        match profile.is_some() {
-            true => println!(
-                "\nwrote Chrome trace-event JSON (with profiler spans) to {out} \
+        let note = match profile.is_some() {
+            true => format!(
+                "wrote Chrome trace-event JSON (with profiler spans) to {out} \
                  (load in chrome://tracing)"
             ),
-            false => {
-                println!("\nwrote Chrome trace-event JSON to {out} (load in chrome://tracing)");
-            }
+            false => format!("wrote Chrome trace-event JSON to {out} (load in chrome://tracing)"),
+        };
+        // In --json mode stdout carries exactly one JSON document.
+        match json {
+            true => eprintln!("{note}"),
+            false => println!("\n{note}"),
         }
     }
     ExitCode::SUCCESS
